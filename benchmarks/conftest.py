@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+All benchmarks run the fast profile (4x4 mesh, capacity scale 16 —
+DESIGN.md SS6) and share the harness's run memo, so figures that
+reuse the same simulation points (e.g. Figure 13's SF rows feeding
+Figure 14) never re-simulate.
+
+Each benchmark writes its rendered report (measured values next to
+the paper's) under ``benchmarks/out/`` and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces every figure.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+# Fast-profile geometry shared by all figures.
+PROFILE = dict(cols=4, rows=4, scale=16)
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return dict(PROFILE)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's report and save it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+
+
+def run_figure(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

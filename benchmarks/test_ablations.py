@@ -1,0 +1,94 @@
+"""Ablations of the stream-floating design choices (DESIGN.md).
+
+Each ablation disables one mechanism of the full SF design and
+measures what it costs, on the workloads that exercise it:
+
+- **confluence off** (``sf_ind``): conv3d / particlefilter lose the
+  multicast merging of their shared streams (SS IV-C);
+- **indirect floating off** (``sf_aff``): bfs / cfd fall back to
+  core-chained gathers (SS IV-B);
+- **coarse NUCA interleave** (the paper's 1 kB SF default vs 64 B):
+  constant migration vs hotspot avoidance (SS VII-E).
+"""
+
+from repro.harness.runner import run_once
+
+from conftest import PROFILE, emit, run_figure
+
+
+def test_ablation_confluence(benchmark):
+    def experiment():
+        rows = []
+        for wl in ("conv3d", "particlefilter"):
+            full = run_once(wl, "sf", **PROFILE)
+            no_conf = run_once(wl, "sf_ind", **PROFILE)
+            rows.append((wl, full, no_conf))
+        return rows
+
+    rows = run_figure(benchmark, experiment)
+    lines = ["Ablation: stream confluence (sf vs sf without merging)"]
+    for wl, full, no_conf in rows:
+        lines.append(
+            f"  {wl:15s} traffic x{full.flit_hops / no_conf.flit_hops:.2f} "
+            f"cycles x{full.cycles / no_conf.cycles:.2f} "
+            f"multicasts {full.stats['se_l3.multicasts']:.0f}"
+        )
+    emit("ablation_confluence", "\n".join(lines))
+    for wl, full, no_conf in rows:
+        # Confluence never adds traffic, and actually merges streams.
+        assert full.stats["se_l3.confluences"] > 0, wl
+        assert full.flit_hops <= no_conf.flit_hops * 1.02, wl
+    # conv3d's shared input makes merging clearly profitable.
+    conv = rows[0]
+    assert conv[1].flit_hops < conv[2].flit_hops * 0.95
+
+
+def test_ablation_indirect(benchmark):
+    def experiment():
+        rows = []
+        for wl in ("bfs", "cfd"):
+            full = run_once(wl, "sf_ind", **PROFILE)  # indirect, no conf
+            aff_only = run_once(wl, "sf_aff", **PROFILE)
+            rows.append((wl, full, aff_only))
+        return rows
+
+    rows = run_figure(benchmark, experiment)
+    lines = ["Ablation: indirect floating (sf_ind vs affine-only)"]
+    for wl, full, aff in rows:
+        lines.append(
+            f"  {wl:15s} traffic x{full.flit_hops / aff.flit_hops:.2f} "
+            f"cycles x{full.cycles / aff.cycles:.2f} "
+            f"ind_requests {full.stats['l3.requests_by_source.float_ind']:.0f}"
+        )
+    emit("ablation_indirect", "\n".join(lines))
+    bfs_full, bfs_aff = rows[0][1], rows[0][2]
+    # bfs: indirect floating issues gather requests at the banks and
+    # cuts traffic via subline transfers (paper Figure 15).
+    assert bfs_full.stats["l3.requests_by_source.float_ind"] > 0
+    assert bfs_full.flit_hops < bfs_aff.flit_hops
+    assert bfs_full.cycles <= bfs_aff.cycles * 1.05
+
+
+def test_ablation_interleave_migrations(benchmark):
+    def experiment():
+        fine = run_once("nn", "sf", l3_interleave=64, **PROFILE)
+        coarse = run_once("nn", "sf", l3_interleave=1024, **PROFILE)
+        return fine, coarse
+
+    fine, coarse = run_figure(benchmark, experiment)
+    lines = [
+        "Ablation: NUCA interleave for floated streams (64B vs 1kB)",
+        f"  64B : cycles {fine.cycles:,} migrations "
+        f"{fine.stats['se_l3.migrations_out']:.0f} stream-flit-hops "
+        f"{fine.stats['noc.flit_hops.stream']:.0f}",
+        f"  1kB : cycles {coarse.cycles:,} migrations "
+        f"{coarse.stats['se_l3.migrations_out']:.0f} stream-flit-hops "
+        f"{coarse.stats['noc.flit_hops.stream']:.0f}",
+    ]
+    emit("ablation_interleave", "\n".join(lines))
+    # Fine interleaving migrates an order of magnitude more (paper:
+    # 16x more chunk boundaries) and pays more stream-mgmt traffic.
+    assert fine.stats["se_l3.migrations_out"] > \
+        4 * coarse.stats["se_l3.migrations_out"]
+    assert fine.stats["noc.flit_hops.stream"] > \
+        coarse.stats["noc.flit_hops.stream"]

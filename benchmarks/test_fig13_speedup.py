@@ -1,0 +1,51 @@
+"""Figure 13: overall speedup and energy efficiency across cores.
+
+Paper (vs the same core's no-prefetch Base, geomean of 12 workloads):
+SF improves IO4/OOO4/OOO8 by 3.20x/~2.4x/~2.3x, with SS slightly
+below the best prefetcher on IO4 (limited 256 B FIFO) and slightly
+above it on OOO cores; SF beats SS by 64%/37%/31%.
+
+We assert the *orderings* and relative placements, not the absolute
+factors (our substrate is a simplified simulator at scaled size).
+"""
+
+from repro.harness import experiments, report
+from repro.harness.experiments import geomean
+
+from conftest import PROFILE, emit, run_figure
+
+
+def test_fig13_speedup_and_energy(benchmark):
+    data = run_figure(
+        benchmark, lambda: experiments.fig13_speedup(**PROFILE)
+    )
+    emit("fig13_speedup", report.render_fig13(data))
+
+    gm = {
+        core: {
+            cfg: geomean([cells[cfg].speedup for cells in wl_map.values()])
+            for cfg in experiments.FIG13_CONFIGS
+        }
+        for core, wl_map in data.items()
+    }
+    gme = {
+        core: {
+            cfg: geomean([cells[cfg].energy_eff for cells in wl_map.values()])
+            for cfg in experiments.FIG13_CONFIGS
+        }
+        for core, wl_map in data.items()
+    }
+    for core in gm:
+        # SF is the best system on every core type...
+        for other in ("base", "stride", "bingo", "ss"):
+            assert gm[core]["sf"] > gm[core][other], (core, other, gm[core])
+        # ...and the most energy efficient.
+        for other in ("base", "stride", "bingo"):
+            assert gme[core]["sf"] > gme[core][other], (core, other)
+        # Prefetchers and streams beat the no-prefetch Base.
+        assert gm[core]["bingo"] > 1.0
+        assert gm[core]["ss"] >= 1.0
+    # The in-order core gains the most from floating (paper: 3.2x
+    # IO4 vs ~2.3x OOO8 over Base; +64% vs +31% over SS).
+    assert gm["io4"]["sf"] > gm["ooo8"]["sf"]
+    assert gm["io4"]["sf"] / gm["io4"]["ss"] > gm["ooo8"]["sf"] / gm["ooo8"]["ss"]

@@ -1,0 +1,36 @@
+"""Figure 16: SF vs Bingo under 128/256/512-bit links.
+
+Paper: SF's advantage over Bingo grows with link width (1.34x at
+128-bit to 1.43x at 512-bit) because wide links shrink data
+serialization, making the control messages SF eliminates
+proportionally more important. Compute-bound or DRAM-bound workloads
+(particlefilter, nn) see little from wider links.
+"""
+
+from repro.harness import experiments, report
+from repro.harness.experiments import geomean
+
+from conftest import PROFILE, emit, run_figure
+
+
+def test_fig16_linkwidth(benchmark):
+    data = run_figure(
+        benchmark, lambda: experiments.fig16_linkwidth(**PROFILE)
+    )
+    emit("fig16_linkwidth", report.render_sweep(
+        data, "Figure 16 (link width, vs bingo@128)",
+        report.PAPER_NOTES["fig16"],
+    ))
+
+    ratios = {}
+    for width in experiments.FIG16_WIDTHS:
+        ratios[width] = geomean([
+            cells[("sf", width)] / cells[("bingo", width)]
+            for cells in data.values()
+            if cells[("bingo", width)] > 0
+        ])
+    # SF beats Bingo at every link width.
+    for width, ratio in ratios.items():
+        assert ratio > 1.0, (width, ratio)
+    # And the advantage does not shrink as links widen (paper: grows).
+    assert ratios[512] >= ratios[128] * 0.97, ratios

@@ -1,0 +1,41 @@
+"""Figure 17: sensitivity to NUCA interleaving granularity.
+
+Paper: SF performs best at 1 kB interleaving (few migrations, still
+no bank hotspots); at 64 B streams migrate constantly (12% stream
+control traffic) but SF still cuts total traffic 22%. Bingo prefers
+fine interleaving; at 4 kB it drops to ~0.93x of its 64 B self on
+hotspot-prone workloads (e.g. mv).
+"""
+
+from repro.harness import experiments, report
+from repro.harness.experiments import geomean
+from repro.harness.runner import run_once
+
+from conftest import PROFILE, emit, run_figure
+
+
+def test_fig17_interleave(benchmark):
+    data = run_figure(
+        benchmark, lambda: experiments.fig17_interleave(**PROFILE)
+    )
+    emit("fig17_interleave", report.render_sweep(
+        data, "Figure 17 (NUCA interleave, vs bingo@64B)",
+        report.PAPER_NOTES["fig17"],
+    ))
+
+    gm = {
+        key: geomean([cells[key] for cells in data.values()])
+        for key in next(iter(data.values()))
+    }
+    # SF beats Bingo at its preferred (1kB) granularity.
+    assert gm[("sf", 1024)] > gm[("bingo", 64)]
+    # SF at coarse granularity is at least as good as SF at 64B
+    # (fewer migrations, paper's motivation for the 1kB default).
+    assert gm[("sf", 1024)] >= gm[("sf", 64)] * 0.97
+    # Fine interleaving makes streams migrate constantly: visible
+    # stream-management traffic, yet SF-64B still reduces traffic.
+    wl = "hotspot"
+    sf64 = run_once(wl, "sf", l3_interleave=64, **PROFILE)
+    base = run_once(wl, "base", **PROFILE)
+    assert sf64.stats["se_l3.migrations_out"] > 0
+    assert sf64.flit_hops < base.flit_hops

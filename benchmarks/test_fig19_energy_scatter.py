@@ -1,0 +1,34 @@
+"""Figure 19: energy vs speedup across IO4 / OOO4 / OOO8.
+
+Paper: floating opens new tradeoffs — SF-IO4 outperforms SS-OOO8
+while consuming far less energy; each core class's SF point dominates
+its SS point (faster and cheaper).
+"""
+
+from repro.harness import experiments, report
+
+from conftest import PROFILE, emit, run_figure
+
+
+def test_fig19_energy_scatter(benchmark):
+    points = run_figure(
+        benchmark, lambda: experiments.fig19_energy_scatter(**PROFILE)
+    )
+    emit("fig19_energy_scatter", report.render_fig19(points))
+
+    by_key = {(p.core, p.config): p for p in points}
+    # SF dominates SS on every core: faster and no more energy.
+    for core in ("io4", "ooo4", "ooo8"):
+        sf = by_key[(core, "sf")]
+        ss = by_key[(core, "ss")]
+        assert sf.speedup > ss.speedup, core
+        assert sf.energy <= ss.energy * 1.05, core
+    # The headline tradeoff: SF on the small in-order core reaches
+    # (at least approaches) the big OOO running SS, at a fraction of
+    # the energy (paper: outright outperforms it).
+    sf_io4 = by_key[("io4", "sf")]
+    ss_ooo8 = by_key[("ooo8", "ss")]
+    assert sf_io4.speedup > 0.6 * ss_ooo8.speedup
+    assert sf_io4.energy < 0.8 * ss_ooo8.energy
+    # IO4 is the cheapest class overall.
+    assert by_key[("io4", "base")].energy < by_key[("ooo8", "base")].energy

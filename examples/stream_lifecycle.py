@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Watch a floated stream's life: float -> migrate -> ... -> end.
+
+Attaches the event tracer to an SF chip running the mv kernel and
+prints the first float/sink/migration/confluence events, then the
+per-kind totals. Useful both for understanding the mechanism and for
+debugging new workloads: a stream that floats and immediately sinks,
+or that migrates every few elements, shows up here at a glance.
+
+Run:  python examples/stream_lifecycle.py
+"""
+
+from repro.sim import Tracer
+from repro.system import Chip, make_config
+from repro.workloads import build_programs
+
+
+def main() -> None:
+    chip = Chip(make_config("sf", core="ooo8", cols=4, rows=4, scale=16))
+    tracer = Tracer(chip, kinds=("float", "sink", "migrate", "end"))
+    programs = build_programs("mv", chip.num_cores, scale=16)
+    result = chip.run(programs)
+
+    print("first 20 stream events:")
+    for ev in list(tracer.events)[:20]:
+        print(" ", ev)
+    print("\nevent totals:")
+    print(tracer.summary())
+    print(f"\nrun: {result.cycles:,} cycles, "
+          f"{result.stats['l3.requests.stream_float']:.0f} SE_L3 requests, "
+          f"{result.stats['se_l3.migrations_out']:.0f} migrations")
+    print("\nReading it: the matrix stream floats at configuration "
+          "(footprint >> L2);\nthe x vector floats from history, then "
+          "sinks once its second pass starts\nhitting the private "
+          "caches — exactly the paper's float/sink policy (SS IV-D).")
+
+
+if __name__ == "__main__":
+    main()

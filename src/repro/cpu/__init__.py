@@ -1,0 +1,5 @@
+"""Core timing models."""
+
+from repro.cpu.core import Core
+
+__all__ = ["Core"]

@@ -1,0 +1,6 @@
+"""Experiment harness: runner, per-figure experiments, reports."""
+
+from repro.harness.runner import RunRecord, clear_cache, run_once
+from repro.harness import experiments, report
+
+__all__ = ["run_once", "RunRecord", "clear_cache", "experiments", "report"]

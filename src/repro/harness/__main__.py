@@ -1,0 +1,86 @@
+"""CLI: regenerate any of the paper's figures from the command line.
+
+Examples::
+
+    python -m repro.harness fig13
+    python -m repro.harness fig15 --core ooo8 --scale 16
+    python -m repro.harness fig13 --cols 8 --rows 8 --scale 4   # full-size
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments, report
+from repro.workloads import ALL_WORKLOADS
+
+FIGURES = ("fig2", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Regenerate Stream Floating (HPCA'21) figures",
+    )
+    parser.add_argument("figure", choices=FIGURES + ("all",))
+    parser.add_argument("--cols", type=int, default=4)
+    parser.add_argument("--rows", type=int, default=4)
+    parser.add_argument("--scale", type=int, default=16,
+                        help="capacity/dataset scale divisor (1 = paper size)")
+    parser.add_argument("--core", default="ooo8",
+                        choices=("io4", "ooo4", "ooo8"))
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help=f"subset of {list(ALL_WORKLOADS)}")
+    args = parser.parse_args(argv)
+
+    kw = dict(cols=args.cols, rows=args.rows, scale=args.scale)
+    wl = tuple(args.workloads) if args.workloads else None
+    figures = FIGURES if args.figure == "all" else (args.figure,)
+    for fig in figures:
+        t0 = time.time()
+        print(f"=== {fig} ===")
+        if fig == "fig2":
+            out = report.render_fig2(experiments.fig2_motivation(
+                workloads=wl or ALL_WORKLOADS, core=args.core, **kw))
+        elif fig == "fig13":
+            out = report.render_fig13(experiments.fig13_speedup(
+                workloads=wl or ALL_WORKLOADS, **kw))
+        elif fig == "fig14":
+            out = report.render_fig14(experiments.fig14_requests(
+                workloads=wl or ALL_WORKLOADS, core=args.core, **kw))
+        elif fig == "fig15":
+            out = report.render_fig15(experiments.fig15_traffic(
+                workloads=wl or ALL_WORKLOADS, core=args.core, **kw))
+        elif fig == "fig16":
+            out = report.render_sweep(
+                experiments.fig16_linkwidth(
+                    workloads=wl or experiments.SWEEP_WORKLOADS,
+                    core=args.core, **kw),
+                "Figure 16 (link width, vs bingo@128)",
+                report.PAPER_NOTES["fig16"],
+            )
+        elif fig == "fig17":
+            out = report.render_sweep(
+                experiments.fig17_interleave(
+                    workloads=wl or experiments.SWEEP_WORKLOADS,
+                    core=args.core, **kw),
+                "Figure 17 (NUCA interleave, vs bingo@64B)",
+                report.PAPER_NOTES["fig17"],
+            )
+        elif fig == "fig18":
+            out = report.render_fig18(experiments.fig18_scaling(
+                workloads=wl or experiments.SWEEP_WORKLOADS,
+                core=args.core, scale=args.scale))
+        elif fig == "fig19":
+            out = report.render_fig19(experiments.fig19_energy_scatter(
+                workloads=wl or ALL_WORKLOADS, **kw))
+        print(out)
+        print(f"[{fig} done in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

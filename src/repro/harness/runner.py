@@ -1,0 +1,118 @@
+"""Experiment runner: one (workload, system) simulation -> RunRecord.
+
+Runs are memoized in-process (the per-figure experiments share many
+points — e.g. Figure 13's SF-OOO8 runs are Figure 14's input), so a
+benchmark session never simulates the same point twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.sim.stats import Stats
+from repro.system.chip import Chip, RunResult
+from repro.system.configs import make_config
+from repro.workloads.base import build_programs
+
+
+@dataclass
+class RunRecord:
+    """Everything the experiments extract from one simulation."""
+
+    workload: str
+    config: str
+    core: str
+    cols: int
+    rows: int
+    scale: int
+    link_bits: int
+    l3_interleave: Optional[int]
+    cycles: int
+    stats: Stats
+    energy: EnergyBreakdown
+
+    @property
+    def key(self) -> Tuple:
+        return run_key(
+            self.workload, self.config, self.core, self.cols, self.rows,
+            self.scale, self.link_bits, self.l3_interleave,
+        )
+
+    @property
+    def flit_hops(self) -> float:
+        return sum(
+            self.stats.get(f"noc.flit_hops.{k}") for k in ("ctrl", "data", "stream")
+        )
+
+    def traffic_breakdown(self) -> Dict[str, float]:
+        return {
+            k: self.stats.get(f"noc.flit_hops.{k}")
+            for k in ("ctrl", "data", "stream")
+        }
+
+    def noc_utilization(self) -> float:
+        from repro.noc.topology import Mesh
+
+        if self.cycles <= 0:
+            return 0.0
+        links = Mesh(self.cols, self.rows).num_links
+        return self.flit_hops / (links * self.cycles)
+
+    def l2_hit_rate(self) -> float:
+        accesses = self.stats["l2.hits"] + self.stats["l2.misses"]
+        return self.stats["l2.hits"] / accesses if accesses else 0.0
+
+    def l3_hit_rate(self) -> float:
+        accesses = self.stats["l3.hits"] + self.stats["l3.misses"]
+        return self.stats["l3.hits"] / accesses if accesses else 0.0
+
+
+def run_key(
+    workload: str, config: str, core: str, cols: int, rows: int,
+    scale: int, link_bits: int, l3_interleave: Optional[int],
+) -> Tuple:
+    return (workload, config, core, cols, rows, scale, link_bits, l3_interleave)
+
+
+_MEMO: Dict[Tuple, RunRecord] = {}
+
+
+def clear_cache() -> None:
+    _MEMO.clear()
+
+
+def run_once(
+    workload: str,
+    config: str,
+    core: str = "ooo8",
+    cols: int = 4,
+    rows: int = 4,
+    scale: int = 16,
+    link_bits: int = 256,
+    l3_interleave: Optional[int] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> RunRecord:
+    """Simulate one experiment point (memoized)."""
+    key = run_key(workload, config, core, cols, rows, scale, link_bits,
+                  l3_interleave)
+    if use_cache and key in _MEMO:
+        return _MEMO[key]
+    params = make_config(
+        config, core=core, cols=cols, rows=rows, scale=scale,
+        link_bits=link_bits, l3_interleave=l3_interleave,
+    )
+    chip = Chip(params)
+    programs = build_programs(workload, chip.num_cores, scale=scale, seed=seed)
+    result: RunResult = chip.run(programs)
+    energy = EnergyModel().evaluate(result.stats, result.cycles, params)
+    record = RunRecord(
+        workload=workload, config=config, core=core, cols=cols, rows=rows,
+        scale=scale, link_bits=link_bits, l3_interleave=l3_interleave,
+        cycles=result.cycles, stats=result.stats, energy=energy,
+    )
+    if use_cache:
+        _MEMO[key] = record
+    return record

@@ -1,0 +1,96 @@
+"""Address arithmetic: cache lines, pages, and static-NUCA interleaving.
+
+The paper's L3 is a static NUCA: physical addresses are interleaved
+across the 64 L3 banks at a configurable granularity (64 B by default
+for the baselines; stream floating prefers 1 kB — Figure 17 sweeps
+64 B / 256 B / 1 kB / 4 kB). A stream "migrates" between banks exactly
+when its next address maps to a different bank under this interleaving.
+"""
+
+from __future__ import annotations
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+def line_addr(addr: int) -> int:
+    """Align ``addr`` down to its cache-line base."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+def line_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its cache line."""
+    return addr & (LINE_SIZE - 1)
+
+
+def line_index(addr: int) -> int:
+    """Cache-line number of ``addr``."""
+    return addr >> LINE_SHIFT
+
+
+def page_addr(addr: int) -> int:
+    """Align ``addr`` down to its page base."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_index(addr: int) -> int:
+    """Page number of ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def same_line(a: int, b: int) -> bool:
+    return line_addr(a) == line_addr(b)
+
+
+def same_page(a: int, b: int) -> bool:
+    return page_addr(a) == page_addr(b)
+
+
+def lines_covered(addr: int, size: int) -> range:
+    """Line numbers touched by the byte range [addr, addr + size)."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    first = line_index(addr)
+    last = line_index(addr + size - 1)
+    return range(first, last + 1)
+
+
+class NucaMap:
+    """Static-NUCA mapping of addresses to L3 banks.
+
+    Addresses are interleaved round-robin across ``num_banks`` banks at
+    ``interleave`` byte granularity. ``interleave`` must be a multiple
+    of the cache line size (the paper uses 64 B, 256 B, 1 kB or 4 kB).
+    """
+
+    def __init__(self, num_banks: int, interleave: int = LINE_SIZE) -> None:
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        if interleave < LINE_SIZE or interleave % LINE_SIZE:
+            raise ValueError(
+                f"interleave must be a multiple of the {LINE_SIZE}B line size"
+            )
+        if interleave & (interleave - 1):
+            raise ValueError("interleave must be a power of two")
+        self.num_banks = num_banks
+        self.interleave = interleave
+
+    def bank_of(self, addr: int) -> int:
+        """L3 bank holding ``addr``."""
+        return (addr // self.interleave) % self.num_banks
+
+    def chunk_base(self, addr: int) -> int:
+        """Base address of the interleave chunk containing ``addr``."""
+        return addr & ~(self.interleave - 1)
+
+    def chunk_end(self, addr: int) -> int:
+        """First address after the chunk containing ``addr``."""
+        return self.chunk_base(addr) + self.interleave
+
+    def same_bank(self, a: int, b: int) -> bool:
+        return self.bank_of(a) == self.bank_of(b)
+
+    def __repr__(self) -> str:
+        return f"NucaMap(num_banks={self.num_banks}, interleave={self.interleave})"

@@ -1,0 +1,202 @@
+"""Set-associative cache array with the metadata the paper measures.
+
+This is the tag/data bookkeeping shared by L1, L2 and L3 controllers.
+Beyond the usual state, each line tracks:
+
+- ``uses``: demand accesses since fill — a line evicted with
+  ``uses <= 1`` (the fill's own demand use) counts as *evicted without
+  reuse*, the quantity in Figure 2a;
+- ``stream_id``: the stream that brought the line in (the paper extends
+  the private-cache tag array with a 4-bit stream id, §IV-D), used both
+  for the reuse-history float policy and for Figure 2a's "stream"
+  fraction;
+- ``prefetched``: whether a prefetcher (not a demand miss) filled it,
+  for prefetch accuracy accounting;
+- ``fill_flits``: NoC flits spent bringing the line in, so eviction-
+  without-reuse traffic (Figure 2b) can be attributed per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.addr import LINE_SIZE, line_addr
+from repro.mem.replacement import ReplacementPolicy, make_policy
+
+# Coherence states (MESI). The same enum serves private caches and the
+# LLC/directory; not every state is meaningful at every level.
+INVALID = "I"
+SHARED = "S"
+EXCLUSIVE = "E"
+MODIFIED = "M"
+
+
+@dataclass
+class CacheLine:
+    """One cache line's tag entry."""
+
+    addr: int = 0
+    state: str = INVALID
+    dirty: bool = False
+    # --- accounting used by the paper's measurements ---
+    fill_cycle: int = 0
+    uses: int = 0
+    prefetched: bool = False
+    stream_id: Optional[int] = None
+    fill_flits: int = 0  # data flits spent filling the line
+    fill_flits_ctrl: int = 0  # control flits spent filling the line
+    seq_num: int = 0  # aliasing-window sequence tag (SS IV-E)
+    writable: bool = False  # L1-level hint: backing L2 state is M/E
+
+    @property
+    def valid(self) -> bool:
+        return self.state != INVALID
+
+
+class CacheArray:
+    """A set-associative array of :class:`CacheLine`.
+
+    The array does pure tag management: controllers decide when to
+    look up, fill and evict, and own all timing and messaging.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        replacement: str = "lru",
+        seed: int = 0,
+        set_index_fn=None,
+    ) -> None:
+        """``set_index_fn(addr) -> int`` overrides the default set
+        index (line number). L3 banks use it to index by *bank-local*
+        line number, so the NUCA interleave bits don't alias away most
+        of the bank's sets."""
+        if size_bytes % (ways * LINE_SIZE):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {ways}-way sets of "
+                f"{LINE_SIZE}B lines"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * LINE_SIZE)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"number of sets ({self.num_sets}) must be a power of two")
+        self._lines: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(replacement, ways, seed=seed + set_idx)
+            for set_idx in range(self.num_sets)
+        ]
+        self._set_index_fn = set_index_fn
+        # Map line base address -> (set, way) for O(1) lookups.
+        self._where: Dict[int, Tuple[int, int]] = {}
+
+    def set_of(self, addr: int) -> int:
+        if self._set_index_fn is not None:
+            return self._set_index_fn(addr) & (self.num_sets - 1)
+        return (addr >> 6) & (self.num_sets - 1)
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the line holding ``addr``, updating recency if
+        ``touch``; ``None`` on miss."""
+        base = line_addr(addr)
+        loc = self._where.get(base)
+        if loc is None:
+            return None
+        set_idx, way = loc
+        line = self._lines[set_idx][way]
+        if touch:
+            self._policies[set_idx].on_hit(way)
+        return line
+
+    def contains(self, addr: int) -> bool:
+        return line_addr(addr) in self._where
+
+    def pick_victim(self, addr: int, avoid=None) -> Tuple[int, CacheLine]:
+        """Choose (way, line) to evict so ``addr`` can be filled.
+
+        Does not modify state; the caller should handle writeback of a
+        valid victim, then call :meth:`fill`. ``avoid`` is an optional
+        predicate over line addresses; lines it matches (e.g. lines
+        with in-flight transactions) are skipped unless every way
+        matches, in which case a RuntimeError is raised.
+        """
+        set_idx = self.set_of(addr)
+        ways = self._lines[set_idx]
+        valid = [ln.valid for ln in ways]
+        policy = self._policies[set_idx]
+        for _attempt in range(self.ways):
+            way = policy.victim(valid)
+            line = ways[way]
+            if avoid is None or not line.valid or not avoid(line.addr):
+                return way, line
+            # Pinned: make it most-recently-used and try again.
+            policy.on_hit(way)
+        raise RuntimeError(f"all ways pinned in set {set_idx}")
+
+    def fill(
+        self,
+        addr: int,
+        state: str,
+        now: int = 0,
+        prefetched: bool = False,
+        stream_id: Optional[int] = None,
+        fill_flits: int = 0,
+        fill_flits_ctrl: int = 0,
+        avoid=None,
+    ) -> Tuple[CacheLine, Optional[CacheLine]]:
+        """Insert ``addr``; returns (new_line, evicted_copy_or_None).
+
+        The evicted line is returned as a *copy* holding its final
+        metadata so the controller can account for it after the slot
+        has been reused. ``avoid`` is forwarded to :meth:`pick_victim`.
+        """
+        base = line_addr(addr)
+        if base in self._where:
+            raise ValueError(f"fill of already-present line {base:#x}")
+        set_idx = self.set_of(addr)
+        way, victim = self.pick_victim(addr, avoid=avoid)
+        evicted: Optional[CacheLine] = None
+        if victim.valid:
+            evicted = CacheLine(**vars(victim))
+            del self._where[victim.addr]
+        victim.addr = base
+        victim.state = state
+        victim.dirty = False
+        victim.fill_cycle = now
+        victim.uses = 0
+        victim.prefetched = prefetched
+        victim.stream_id = stream_id
+        victim.fill_flits = fill_flits
+        victim.fill_flits_ctrl = fill_flits_ctrl
+        victim.seq_num = 0
+        victim.writable = False
+        self._where[base] = (set_idx, way)
+        self._policies[set_idx].on_fill(way)
+        return victim, evicted
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop ``addr`` if present; returns a copy of the dropped line."""
+        base = line_addr(addr)
+        loc = self._where.pop(base, None)
+        if loc is None:
+            return None
+        set_idx, way = loc
+        line = self._lines[set_idx][way]
+        copy = CacheLine(**vars(line))
+        line.state = INVALID
+        line.dirty = False
+        return copy
+
+    def all_lines(self) -> List[CacheLine]:
+        """All valid lines (test/debug helper)."""
+        return [ln for st in self._lines for ln in st if ln.valid]
+
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    def __len__(self) -> int:
+        return len(self._where)

@@ -1,0 +1,197 @@
+"""L1 data cache controller.
+
+Per-tile, 32 kB 8-way, 2-cycle latency (Table III). The L1 is not a
+coherence endpoint: the colocated L2 is inclusive of it and back-
+invalidates it when lines leave the L2. Each line carries a
+``writable`` hint mirroring the L2's M/E state so stores know whether
+an upgrade round-trip is needed.
+
+The L1 hosts the demand-side prefetchers (stride or Bingo): every
+demand access trains the prefetcher, whose suggested lines are issued
+as non-blocking prefetch fills through the normal L1->L2 path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.mem.addr import line_addr
+from repro.mem.cache import CacheArray, EXCLUSIVE, MODIFIED, SHARED
+from repro.mem.l2 import L2AccessResult, L2Cache, L2Request
+from repro.mem.mshr import MshrFile
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+
+
+@dataclass
+class L1Request:
+    """A core-side access."""
+
+    addr: int
+    is_write: bool = False
+    prefetch: bool = False
+    stream_id: Optional[int] = None
+    element: Optional[int] = None
+    floating: bool = False
+    op_id: Optional[int] = None
+    on_done: Optional[Callable[[], None]] = None
+
+
+class L1Cache:
+    """Private L1D with prefetcher hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats,
+        tile: int,
+        l2: L2Cache,
+        size_bytes: int = 32 * 1024,
+        ways: int = 8,
+        latency: int = 2,
+        mshrs: int = 8,
+        replacement: str = "lru",
+    ) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.tile = tile
+        self.l2 = l2
+        self.latency = latency
+        self.array = CacheArray(size_bytes, ways, replacement=replacement, seed=tile)
+        self.mshr = MshrFile(mshrs)
+        self._overflow: List[L1Request] = []
+        self.prefetcher = None  # L1 stride or Bingo, wired by the tile
+        l2.on_l1_invalidate = self.invalidate
+        l2.on_l1_downgrade = self.downgrade
+
+    # ------------------------------------------------------------------
+    def access(self, req: L1Request) -> None:
+        base = line_addr(req.addr)
+        line = self.array.lookup(base)
+        hit = line is not None and (not req.is_write or line.writable)
+        if self.prefetcher is not None and not req.prefetch and not req.floating:
+            for pf_addr in self.prefetcher.on_access(req.op_id, req.addr, hit=hit):
+                self._issue_prefetch(pf_addr, req.op_id)
+        if hit:
+            self.stats.add("l1.hits")
+            line.uses += 1
+            if req.is_write:
+                line.dirty = True
+            if req.floating and self.l2.se_l2 is not None:
+                # Floating stream data unexpectedly in L1 (SS IV-A):
+                # serve from cache, tell SE_L2 to advance.
+                self.l2.se_l2.on_cache_hit(req.stream_id, req.element)
+            if req.on_done is not None:
+                self.sim.schedule(self.latency, req.on_done)
+            return
+        self.stats.add("l1.misses")
+        self._miss(req)
+
+    PREFETCH_MSHR_RESERVE = 2  # MSHRs kept free for demand misses
+
+    def _issue_prefetch(self, addr: int, op_id: Optional[int]) -> None:
+        base = line_addr(addr)
+        if self.array.contains(base) or self.mshr.lookup(base) is not None:
+            return
+        if len(self.mshr) >= self.mshr.capacity - self.PREFETCH_MSHR_RESERVE:
+            self.stats.add("l1.prefetch_dropped")
+            return
+        self.stats.add("l1.prefetch_issued")
+        self._miss(L1Request(addr=base, prefetch=True, op_id=op_id))
+
+    def _miss(self, req: L1Request) -> None:
+        base = line_addr(req.addr)
+        entry = self.mshr.lookup(base)
+        if entry is not None:
+            entry.is_write = entry.is_write or req.is_write
+            entry.is_prefetch_only = entry.is_prefetch_only and req.prefetch
+            entry.waiters.append(req)
+            return
+        if self.mshr.full:
+            if req.prefetch:
+                self.stats.add("l1.prefetch_dropped")
+                return
+            self._overflow.append(req)
+            return
+        entry = self.mshr.allocate(base, self.sim.now)
+        entry.is_write = req.is_write
+        entry.is_prefetch_only = req.prefetch
+        entry.waiters.append(req)
+        l2_req = L2Request(
+            addr=base,
+            is_write=req.is_write,
+            prefetch=req.prefetch,
+            stream_id=req.stream_id,
+            element=req.element,
+            floating=req.floating,
+            op_id=req.op_id,
+            on_done=lambda result: self._fill(base, result),
+        )
+        self.sim.schedule(self.latency, self.l2.access, l2_req)
+
+    def _fill(self, base: int, result: L2AccessResult) -> None:
+        entry = self.mshr.release(base)
+        if result.dropped:
+            # The L2 rejected our prefetch. Re-issue for any demand
+            # requests that merged into the entry meanwhile.
+            for waiter in entry.waiters:
+                if not waiter.prefetch:
+                    self._miss(waiter)
+            self._drain_overflow()
+            return
+        if not self.array.contains(base):
+            stream_id = None
+            for waiter in entry.waiters:
+                if waiter.stream_id is not None:
+                    stream_id = waiter.stream_id
+                    break
+            # Floating-stream data bypasses the caches entirely: it
+            # lives in the SE_L2 buffer (SS V-A, uncached stream data),
+            # even when a demand request merged into the same MSHR.
+            # Inclusion guard: the L2 may have evicted the line during
+            # the response latency window; don't fill the L1 then.
+            if not result.uncached and self.l2.array.contains(base):
+                line, evicted = self.array.fill(
+                    base, SHARED, now=self.sim.now,
+                    prefetched=entry.is_prefetch_only,
+                    stream_id=stream_id,
+                    avoid=lambda a: self.mshr.lookup(a) is not None,
+                )
+                line.writable = result.writable
+                if entry.is_write:
+                    line.dirty = True
+                if evicted is not None and evicted.dirty:
+                    self._writeback_to_l2(evicted.addr)
+        else:
+            line = self.array.lookup(base, touch=False)
+            line.writable = line.writable or result.writable
+            if entry.is_write:
+                line.dirty = True
+        for waiter in entry.waiters:
+            if waiter.on_done is not None:
+                self.sim.schedule(0, waiter.on_done)
+        self._drain_overflow()
+
+    def _writeback_to_l2(self, addr: int) -> None:
+        """Dirty L1 victim folds into the (inclusive) L2 copy."""
+        line = self.l2.array.lookup(addr, touch=False)
+        if line is not None:
+            line.dirty = True
+            line.state = MODIFIED
+        self.stats.add("l1.writebacks")
+
+    def _drain_overflow(self) -> None:
+        while self._overflow and not self.mshr.full:
+            self._miss(self._overflow.pop(0))
+
+    def invalidate(self, addr: int) -> None:
+        self.array.invalidate(line_addr(addr))
+
+    def downgrade(self, addr: int) -> None:
+        """L2 lost write permission: clear the writable hint (and fold
+        any silently dirtied L1 data back into the outgoing copy)."""
+        line = self.array.lookup(line_addr(addr), touch=False)
+        if line is not None:
+            line.writable = False
+            line.dirty = False

@@ -1,0 +1,416 @@
+"""Shared L3 (LLC) bank controller with directory and GetU support.
+
+One bank per tile (Table III: 1 MB, 16-way, 20-cycle latency, MESI,
+static NUCA). Each bank owns the directory state for the lines it
+homes and serializes transactions per line with a bank MSHR file:
+requests arriving for a line with an in-flight transaction queue and
+replay when it completes.
+
+Protocol simplifications relative to a full transient-state MESI
+implementation (documented per DESIGN.md; none affect the message
+*counts* the paper measures):
+
+- Forwarding is bank-relayed: when an L2 owns a line in M/E, the bank
+  sends ``FwdGetS``/``FwdGetX`` to the owner, the owner answers with
+  ``DownData`` to the bank, and the bank responds to the requester.
+  The same two data messages flow as in 3-hop MESI, at slightly higher
+  latency for this (rare in our workloads) case.
+- GetX responses do not wait for invalidation acks (sharers ack to the
+  requester in parallel with the data response).
+- ``GetU`` (stream floating) never updates the directory. If the line
+  is owned elsewhere the owner supplies data via ``DownDataU`` without
+  changing its own state (Fig 12c).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.mem.addr import LINE_SIZE, NucaMap, line_addr
+from repro.mem.cache import CacheArray, EXCLUSIVE, MODIFIED, SHARED
+from repro.mem.coherence import CohMsg, Directory
+from repro.mem.dram import DramSystem
+from repro.mem.mshr import MshrFile
+from repro.noc.message import CTRL, DATA, Packet, control_payload_bits, data_payload_bits
+from repro.noc.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+
+
+class L3Bank:
+    """One LLC bank (plus its slice of the directory)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        stats: Stats,
+        tile: int,
+        size_bytes: int,
+        ways: int = 16,
+        latency: int = 20,
+        mshrs: int = 16,
+        replacement: str = "brrip",
+        dram: Optional[DramSystem] = None,
+        nuca: Optional[NucaMap] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.stats = stats
+        self.tile = tile
+        self.latency = latency
+        set_index_fn = None
+        if nuca is not None:
+            lines_per_chunk = nuca.interleave // LINE_SIZE
+            banks = nuca.num_banks
+
+            def set_index_fn(addr: int) -> int:
+                # Bank-local line number: which interleave chunk of
+                # this bank, times lines per chunk, plus the offset.
+                chunk = (addr // nuca.interleave) // banks
+                return chunk * lines_per_chunk + (
+                    (addr // LINE_SIZE) % lines_per_chunk
+                )
+
+        self.array = CacheArray(
+            size_bytes, ways, replacement=replacement, seed=tile,
+            set_index_fn=set_index_fn,
+        )
+        self.dir = Directory()
+        self.mshr = MshrFile(mshrs)
+        self._waitq: List[tuple] = []  # requests waiting for a free MSHR
+        self.dram = dram
+        # Colocated SE_L3, attached by the tile assembly. The bank
+        # notifies it when GetU data it asked for becomes available.
+        self.se_l3 = None
+        net.register(tile, "l3", self.handle)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet) -> None:
+        """NoC ingress: pay the bank access latency, then process."""
+        self.sim.schedule(self.latency, self._process, pkt.src, pkt.body)
+
+    def stream_read(
+        self,
+        addr: int,
+        requester: int,
+        on_ready: Callable[[CohMsg], None],
+        data_bytes: int = LINE_SIZE,
+        stream_id: Optional[int] = None,
+        element: Optional[int] = None,
+        category: str = "float_affine",
+    ) -> None:
+        """Colocated SE_L3 issues an uncached read of ``addr``.
+
+        ``on_ready(msg)`` fires (at this bank) once the line's data is
+        available here; the SE_L3 then decides how to respond (unicast
+        DataU, multicast for a confluence group, or chain an indirect
+        request). No directory state is modified. ``category`` labels
+        the request for Figure 14 (affine / indirect / confluence).
+        """
+        msg = CohMsg(
+            op="GetU", addr=addr, requester=requester,
+            data_bytes=data_bytes, stream_id=stream_id, element=element,
+            se_info=on_ready, source=category,
+        )
+        self.stats.add("l3.requests.stream_float")
+        self.stats.add(f"l3.requests_by_source.{category}")
+        self.sim.schedule(self.latency, self._process, self.tile, msg)
+
+    # ------------------------------------------------------------------
+    # transaction processing
+    # ------------------------------------------------------------------
+    def _process(self, src: int, msg: CohMsg) -> None:
+        op = msg.op
+        if op in ("GetS", "GetX", "GetU"):
+            self._demand(src, msg)
+        elif op == "GetSBulk":
+            # Bulk prefetch (SS VI): unpack the grouped GetS requests.
+            for sub in msg.se_info:
+                self._demand(src, sub)
+        elif op == "PutS":
+            self.stats.add("l3.puts")
+            self.dir.remove(msg.addr, msg.requester)
+        elif op == "PutM":
+            self._put_m(src, msg)
+        elif op == "MemData":
+            self._mem_data(msg)
+        elif op == "DownData":
+            self._down_data(msg)
+        elif op == "DownDataU":
+            self._down_data_u(msg)
+        elif op == "FwdMiss":
+            self._fwd_miss(msg)
+        else:
+            raise ValueError(f"L3 bank got unexpected op {op!r}")
+
+    def _blocked(self, addr: int) -> bool:
+        return self.mshr.lookup(addr) is not None
+
+    def _demand(self, src: int, msg: CohMsg) -> None:
+        """GetS / GetX / GetU head-of-line processing."""
+        base = line_addr(msg.addr)
+        entry = self.mshr.lookup(base)
+        if entry is not None:
+            # Line transaction in flight: queue and replay later.
+            entry.meta.setdefault("queued", []).append((src, msg))
+            return
+        if not msg.seen:
+            msg.seen = True
+            if msg.op == "GetS":
+                self.stats.add("l3.requests.gets")
+                self.stats.add(f"l3.requests_by_source.{msg.source}")
+            elif msg.op == "GetX":
+                self.stats.add("l3.requests.getx")
+                self.stats.add(f"l3.requests_by_source.{msg.source}")
+
+        ent = self.dir.peek(base)
+        owner = ent.owner if ent else None
+        if owner is not None and owner != msg.requester:
+            self._forward_to_owner(owner, src, msg)
+            return
+
+        line = self.array.lookup(base)
+        if line is not None:
+            self.stats.add("l3.hits")
+            self._satisfy(msg, line_dirty=line.dirty)
+            return
+
+        # LLC miss: fetch from memory.
+        if self.mshr.full:
+            # Park in the bank's wait queue until an MSHR frees up.
+            self._waitq.append((src, msg))
+            self.stats.add("l3.mshr_full_waits")
+            return
+        self.stats.add("l3.misses")
+        entry = self.mshr.allocate(base, self.sim.now)
+        entry.meta["head"] = (src, msg)
+        dram_tile = self.dram.controller_tile(base)
+        self.net.send(Packet(
+            src=self.tile, dst=dram_tile, kind=CTRL,
+            payload_bits=control_payload_bits(), dst_port="dram",
+            body=CohMsg(op="MemRead", addr=base, requester=self.tile),
+        ))
+
+    def _forward_to_owner(self, owner: int, src: int, msg: CohMsg) -> None:
+        """Ask the current M/E owner to supply the data."""
+        base = line_addr(msg.addr)
+        if self.mshr.full:
+            self._waitq.append((src, msg))
+            self.stats.add("l3.mshr_full_waits")
+            return
+        fwd_op = {"GetS": "FwdGetS", "GetX": "FwdGetX", "GetU": "FwdGetU"}[msg.op]
+        entry = self.mshr.allocate(base, self.sim.now)
+        entry.meta["head"] = (src, msg)
+        self.stats.add("l3.forwards")
+        self.net.send(Packet(
+            src=self.tile, dst=owner, kind=CTRL,
+            payload_bits=control_payload_bits(), dst_port="l2",
+            body=CohMsg(op=fwd_op, addr=base, requester=msg.requester,
+                        data_bytes=msg.data_bytes),
+        ))
+
+    def _satisfy(self, msg: CohMsg, line_dirty: bool) -> None:
+        """Line data is available at the bank: grant it."""
+        base = line_addr(msg.addr)
+        if msg.op == "GetU":
+            on_ready = msg.se_info
+            if callable(on_ready):
+                # Colocated SE_L3 drives the response itself.
+                on_ready(msg)
+            else:
+                # Remote GetU (no SE attached): plain uncached response.
+                self.send_data_u(msg.requester, msg)
+            return
+        ent = self.dir.entry(base)
+        if ent.owner == msg.requester:
+            # Stale ownership (e.g. the owner silently lost the line
+            # and is re-requesting): treat as non-owner.
+            ent.owner = None
+        if msg.op == "GetS":
+            if ent.idle:
+                grant = EXCLUSIVE
+                ent.owner = msg.requester
+            else:
+                grant = SHARED
+                ent.sharers.add(msg.requester)
+                if ent.owner is not None and ent.owner != msg.requester:
+                    # Shouldn't happen (owner handled earlier), defensive.
+                    ent.sharers.add(ent.owner)
+                    ent.owner = None
+        else:  # GetX
+            if self.se_l3 is not None:
+                # Stream-grain coherence (SS V-B): a write-ownership
+                # request may invalidate streams that fetched this range.
+                self.se_l3.check_write(base, msg.requester)
+            for sharer in sorted(ent.sharers):
+                if sharer == msg.requester:
+                    continue
+                self.dir.invalidations_sent += 1
+                self.stats.add("l3.invalidations")
+                self.net.send(Packet(
+                    src=self.tile, dst=sharer, kind=CTRL,
+                    payload_bits=control_payload_bits(), dst_port="l2",
+                    body=CohMsg(op="Inv", addr=base, requester=msg.requester),
+                ))
+            grant = MODIFIED
+            ent.sharers.clear()
+            ent.owner = msg.requester
+        self.net.send(Packet(
+            src=self.tile, dst=msg.requester, kind=DATA,
+            payload_bits=data_payload_bits(LINE_SIZE), dst_port="l2",
+            body=CohMsg(op="Data", addr=base, requester=msg.requester,
+                        grant=grant, dirty=line_dirty and grant == MODIFIED),
+        ))
+
+    def send_data_u(self, dst: int, msg: CohMsg, dsts: Optional[List[int]] = None) -> None:
+        """Uncached data response(s) to SE_L2 buffers.
+
+        ``dsts`` (multicast, stream confluence) overrides ``dst``.
+        """
+        body = CohMsg(
+            op="DataU", addr=line_addr(msg.addr), requester=msg.requester,
+            data_bytes=msg.data_bytes, stream_id=msg.stream_id,
+            element=msg.element,
+        )
+        payload = data_payload_bits(msg.data_bytes)
+        if dsts and len(dsts) > 1:
+            self.net.multicast(
+                src=self.tile, dsts=dsts, kind=DATA,
+                payload_bits=payload, dst_port="se_l2", body=body,
+            )
+        else:
+            target = dsts[0] if dsts else dst
+            self.net.send(Packet(
+                src=self.tile, dst=target, kind=DATA,
+                payload_bits=payload, dst_port="se_l2", body=body,
+            ))
+
+    # ------------------------------------------------------------------
+    # fills and completions
+    # ------------------------------------------------------------------
+    def _mem_data(self, msg: CohMsg) -> None:
+        base = line_addr(msg.addr)
+        self._fill(base, dirty=False)
+        self._complete(base)
+
+    def _down_data(self, msg: CohMsg) -> None:
+        """Owner's writeback after FwdGetS/FwdGetX."""
+        base = line_addr(msg.addr)
+        line = self.array.lookup(base)
+        if line is None:
+            self._fill(base, dirty=True)
+        else:
+            line.dirty = True
+        # Owner relinquished M/E (downgrade or invalidate).
+        entry = self.mshr.lookup(base)
+        head_msg = entry.meta["head"][1] if entry else None
+        ent = self.dir.entry(base)
+        if head_msg is not None and head_msg.op == "GetX":
+            # Owner invalidated itself; requester becomes owner below.
+            ent.owner = None
+            ent.sharers.clear()
+        else:
+            # GetS downgrade: old owner stays on as a sharer.
+            if ent.owner is not None:
+                ent.sharers.add(ent.owner)
+                ent.owner = None
+        self._complete(base)
+
+    def _down_data_u(self, msg: CohMsg) -> None:
+        """Owner supplied data for a GetU without state change."""
+        base = line_addr(msg.addr)
+        self._complete(base)
+
+    def _fwd_miss(self, msg: CohMsg) -> None:
+        """The owner no longer had the line: clear stale ownership and
+        retry the queued head transaction."""
+        base = line_addr(msg.addr)
+        entry = self.mshr.lookup(base)
+        self.dir.remove(base, msg.requester)
+        if entry is None:
+            return
+        src, head = entry.meta["head"]
+        queued = entry.meta.get("queued", [])
+        self.mshr.release(base)
+        self.stats.add("l3.fwd_misses")
+        self.sim.schedule(self.latency, self._process, src, head)
+        for qsrc, qmsg in queued:
+            self.sim.schedule(self.latency, self._process, qsrc, qmsg)
+        self._drain_waitq()
+
+    def _complete(self, base: int) -> None:
+        """Head transaction's data is now at the bank: satisfy it and
+        replay anything queued behind it."""
+        entry = self.mshr.lookup(base)
+        if entry is None:
+            return
+        src, head = entry.meta["head"]
+        queued = entry.meta.get("queued", [])
+        self.mshr.release(base)
+        line = self.array.lookup(base, touch=False)
+        self._satisfy(head, line_dirty=bool(line and line.dirty))
+        for qsrc, qmsg in queued:
+            self.sim.schedule(0, self._process, qsrc, qmsg)
+        self._drain_waitq()
+
+    def _drain_waitq(self) -> None:
+        """Admit parked requests as MSHRs free up (FIFO order)."""
+        free = self.mshr.capacity - len(self.mshr)
+        for _ in range(min(free, len(self._waitq))):
+            src, msg = self._waitq.pop(0)
+            self.sim.schedule(0, self._process, src, msg)
+
+    def _put_m(self, src: int, msg: CohMsg) -> None:
+        base = line_addr(msg.addr)
+        self.stats.add("l3.putm")
+        line = self.array.lookup(base, touch=False)
+        if line is None:
+            self._fill(base, dirty=True)
+        else:
+            line.dirty = True
+        self.dir.remove(base, msg.requester)
+        self.net.send(Packet(
+            src=self.tile, dst=msg.requester, kind=CTRL,
+            payload_bits=control_payload_bits(), dst_port="l2",
+            body=CohMsg(op="PutAck", addr=base, requester=msg.requester),
+        ))
+
+    def _fill(self, base: int, dirty: bool) -> None:
+        """Insert a line, back-invalidating the victim's sharers
+        (inclusive LLC) and writing back dirty victims."""
+        if self.array.contains(base):
+            if dirty:
+                self.array.lookup(base, touch=False).dirty = True
+            return
+        line, evicted = self.array.fill(
+            base, SHARED, now=self.sim.now, avoid=self._blocked,
+        )
+        line.dirty = dirty
+        if evicted is None:
+            return
+        self.stats.add("l3.evictions")
+        ent = self.dir.clear(evicted.addr)
+        if ent is not None:
+            targets = set(ent.sharers)
+            if ent.owner is not None:
+                targets.add(ent.owner)
+            for tile in sorted(targets):
+                self.stats.add("l3.back_invalidations")
+                self.net.send(Packet(
+                    src=self.tile, dst=tile, kind=CTRL,
+                    payload_bits=control_payload_bits(), dst_port="l2",
+                    body=CohMsg(op="Inv", addr=evicted.addr,
+                                requester=self.tile,
+                                writeback_to_dram=True),
+                ))
+        if evicted.dirty:
+            dram_tile = self.dram.controller_tile(evicted.addr)
+            self.net.send(Packet(
+                src=self.tile, dst=dram_tile, kind=DATA,
+                payload_bits=data_payload_bits(LINE_SIZE), dst_port="dram",
+                body=CohMsg(op="MemWrite", addr=evicted.addr,
+                            requester=self.tile),
+            ))

@@ -1,0 +1,72 @@
+"""Miss-status holding registers.
+
+An MSHR file tracks outstanding misses per cache line so that
+concurrent requests for the same line merge into one upstream fetch,
+and bounds the number of in-flight misses a cache may have (extra
+misses stall, which is one of the ways memory-level parallelism is
+limited in the simulated cores and caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.mem.addr import line_addr
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding line miss with its waiting callbacks."""
+
+    addr: int
+    issued_cycle: int
+    waiters: List[Callable[[Any], None]] = field(default_factory=list)
+    # Arbitrary controller state (e.g. whether any merged request was a
+    # demand access vs. only prefetches, or needs write permission).
+    is_write: bool = False
+    is_prefetch_only: bool = True
+    meta: dict = field(default_factory=dict)
+
+
+class MshrFile:
+    """A bounded set of :class:`MshrEntry`, keyed by line address."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+
+    def lookup(self, addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_addr(addr))
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, addr: int, now: int) -> MshrEntry:
+        """Create an entry for ``addr``; raises if full or duplicate."""
+        base = line_addr(addr)
+        if base in self._entries:
+            raise ValueError(f"MSHR already allocated for {base:#x}")
+        if self.full:
+            raise RuntimeError("MSHR file full")
+        entry = MshrEntry(addr=base, issued_cycle=now)
+        self._entries[base] = entry
+        return entry
+
+    def release(self, addr: int) -> MshrEntry:
+        """Remove and return the entry for ``addr``."""
+        base = line_addr(addr)
+        entry = self._entries.pop(base, None)
+        if entry is None:
+            raise KeyError(f"no MSHR for {base:#x}")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def outstanding(self) -> List[int]:
+        """Line addresses with in-flight misses (test helper)."""
+        return sorted(self._entries)

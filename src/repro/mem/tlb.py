@@ -1,0 +1,73 @@
+"""Translation lookaside buffers.
+
+The paper assumes a private two-level TLB per core, plus a TLB inside
+each SE_L3's translate unit (Table III: 64-entry 8-way L1 TLB,
+2k/1k-entry 16-way L2/SE_L3 TLB, 8-cycle L2-TLB latency).
+
+We simulate a single flat address space per workload, so "translation"
+is identity; what matters for the paper's measurements is the *timing*
+(TLB miss = page walk latency) and the *frequency* of SE translations
+(affine streams only translate once per page, indirect streams once
+per element — SS IV-E).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.mem.addr import page_index
+
+
+class Tlb:
+    """An LRU TLB over page numbers with a fixed hit/miss latency."""
+
+    def __init__(
+        self,
+        entries: int,
+        hit_latency: int = 1,
+        miss_latency: int = 20,
+        backing: Optional["Tlb"] = None,
+    ) -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.entries = entries
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.backing = backing
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, vaddr: int) -> int:
+        """Translate ``vaddr``; returns access latency in cycles.
+
+        Identity mapping — the returned value is the cost. On a miss
+        the page is filled (and looked up in the backing TLB if one is
+        configured, adding its cost instead of the full walk when it
+        hits there).
+        """
+        page = page_index(vaddr)
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return self.hit_latency
+        self.misses += 1
+        cost = self.hit_latency
+        if self.backing is not None:
+            cost += self.backing.translate(vaddr)
+        else:
+            cost += self.miss_latency
+        self._fill(page)
+        return cost
+
+    def _fill(self, page: int) -> None:
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = True
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    def __contains__(self, vaddr: int) -> bool:
+        return page_index(vaddr) in self._pages

@@ -1,0 +1,72 @@
+"""NoC packets and traffic classification.
+
+Figure 15 classifies traffic into *coherence control*, *data*, and
+*stream management* (configuration / migration / termination / flow
+control). Every packet carries one of these classes so the network can
+maintain the same breakdown.
+
+Flit accounting follows Garnet conventions: a packet is a 64-bit header
+plus its payload, serialized onto the configured link width (256-bit
+default, Table III; Figure 16 sweeps 128/256/512). A bare control
+message is one flit; a full cache-line data response is
+``ceil((64 + 512) / link_bits)`` flits — 3 at 256-bit. Subline
+responses (indirect floating, SS IV-B) carry only the requested bytes
+and thus fewer flits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+HEADER_BITS = 64
+
+# Traffic classes (Figure 15's breakdown).
+CTRL = "ctrl"  # coherence + request control messages
+DATA = "data"  # cache line / subline payload carriers
+STREAM = "stream"  # stream config / migrate / end / credit messages
+
+TRAFFIC_CLASSES = (CTRL, DATA, STREAM)
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One NoC packet.
+
+    ``dst_port`` names the handler at the destination tile ("l2",
+    "l3", "dram", "se_l2", "se_l3"); ``body`` is the protocol-level
+    message object, opaque to the network.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload_bits: int
+    dst_port: str
+    body: Any = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {self.kind!r}")
+        if self.payload_bits < 0:
+            raise ValueError("payload_bits must be >= 0")
+
+    def flits(self, link_bits: int) -> int:
+        """Number of flits on a link of ``link_bits`` width."""
+        total = HEADER_BITS + self.payload_bits
+        return max(1, -(-total // link_bits))
+
+
+def data_payload_bits(data_bytes: int) -> int:
+    """Payload bits for a data message carrying ``data_bytes``."""
+    return data_bytes * 8
+
+
+def control_payload_bits(extra_bytes: int = 0) -> int:
+    """Payload bits for a control message (address etc. fit in the
+    header; ``extra_bytes`` for anything beyond)."""
+    return extra_bytes * 8

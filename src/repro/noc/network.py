@@ -1,0 +1,196 @@
+"""Network model: wormhole-routed mesh with per-link occupancy.
+
+Latency model per packet (head flit):
+
+- per hop: ``router_stages + 1`` cycles (5-stage router + 1-cycle
+  link, Table III), plus queueing when the next link is still busy
+  with earlier packets;
+- serialization: the tail flit arrives ``flits`` cycles after the
+  head, and each link on the route stays reserved for ``flits``
+  cycles (wormhole approximation).
+
+Each unidirectional link keeps a ``busy_until`` reservation, which is
+what creates congestion at high utilization — central to Figures 15/16
+(traffic and link-width sensitivity).
+
+Multicast (stream confluence) forks the X-Y tree: every *unique* link
+in the destination set's routes is traversed once, so merged streams
+genuinely save flit-hops on their shared prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.noc.message import Packet
+from repro.noc.topology import Link, Mesh
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+
+Handler = Callable[[Packet], None]
+
+
+@dataclass
+class DeliveryInfo:
+    """Returned by :meth:`Network.send` for the caller's accounting."""
+
+    flits: int
+    hops: int
+    flit_hops: int
+
+
+class Network:
+    """The chip's interconnect. All tiles share one instance."""
+
+    LOCAL_LATENCY = 1  # core-to-colocated-bank hop through the local router
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mesh: Mesh,
+        stats: Stats,
+        link_bits: int = 256,
+        router_stages: int = 5,
+    ) -> None:
+        self.sim = sim
+        self.mesh = mesh
+        self.stats = stats
+        self.link_bits = link_bits
+        self.hop_latency = router_stages + 1
+        self._busy_until: Dict[Link, int] = {}
+        self._handlers: Dict[Tuple[int, str], Handler] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register(self, tile: int, port: str, handler: Handler) -> None:
+        """Attach ``handler`` for packets addressed to (tile, port)."""
+        key = (tile, port)
+        if key in self._handlers:
+            raise ValueError(f"handler already registered for {key}")
+        self._handlers[key] = handler
+
+    # ------------------------------------------------------------------
+    # unicast
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, extra_delay: int = 0) -> DeliveryInfo:
+        """Inject ``packet`` now (+``extra_delay``); returns accounting
+        info immediately while delivery is scheduled asynchronously."""
+        flits = packet.flits(self.link_bits)
+        route = self.mesh.route(packet.src, packet.dst)
+        arrival = self._traverse(
+            route, self.sim.now + extra_delay, flits, local_key=packet.dst,
+        )
+        self._record(packet.kind, flits, len(route))
+        self._deliver_at(arrival, packet)
+        return DeliveryInfo(
+            flits=flits, hops=len(route), flit_hops=flits * len(route)
+        )
+
+    def _traverse(
+        self, route: List[Link], inject_time: int, flits: int,
+        local_key: Optional[int] = None,
+    ) -> int:
+        """Walk the head flit down ``route`` with link contention;
+        returns the tail-flit arrival time at the destination.
+
+        Same-tile deliveries serialize on a per-tile pseudo-link so
+        delivery order matches send order there too — the protocol
+        relies on per-route FIFO ordering (a Data grant must never be
+        overtaken by a later forward from the same bank).
+        """
+        head = inject_time
+        for link in route:
+            depart = max(head, self._busy_until.get(link, 0))
+            self._busy_until[link] = depart + flits
+            head = depart + self.hop_latency
+        if not route and local_key is not None:
+            link = (local_key, local_key)
+            depart = max(head, self._busy_until.get(link, 0))
+            self._busy_until[link] = depart + flits
+            head = depart + self.LOCAL_LATENCY
+        return head + flits - 1
+
+    def _deliver_at(self, when: int, packet: Packet) -> None:
+        handler = self._handlers.get((packet.dst, packet.dst_port))
+        if handler is None:
+            raise KeyError(
+                f"no handler at tile {packet.dst} port {packet.dst_port!r}"
+            )
+        self.sim.schedule_at(max(when, self.sim.now), handler, packet)
+
+    # ------------------------------------------------------------------
+    # multicast
+    # ------------------------------------------------------------------
+    def multicast(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        kind: str,
+        payload_bits: int,
+        dst_port: str,
+        body=None,
+    ) -> DeliveryInfo:
+        """Send one logical packet to several tiles along a shared
+        X-Y tree. Each unique tree link carries the flits once."""
+        dsts = list(dict.fromkeys(dsts))
+        if not dsts:
+            raise ValueError("multicast needs at least one destination")
+        template = Packet(
+            src=src, dst=dsts[0], kind=kind,
+            payload_bits=payload_bits, dst_port=dst_port, body=body,
+        )
+        flits = template.flits(self.link_bits)
+        routes = self.mesh.multicast_tree(src, dsts)
+        tree_links = Mesh.unique_links(routes)
+        # Reserve each tree link once; per-destination arrival follows
+        # its own route's (already reserved) links.
+        depart_at: Dict[Link, int] = {}
+        # Reserve in BFS-ish order: routes share prefixes, so walk each
+        # route and reserve links not yet reserved by this multicast.
+        for dst in dsts:
+            head = self.sim.now
+            for link in routes[dst]:
+                if link not in depart_at:
+                    depart = max(head, self._busy_until.get(link, 0))
+                    self._busy_until[link] = depart + flits
+                    depart_at[link] = depart
+                head = depart_at[link] + self.hop_latency
+        total_hops = 0
+        for dst in dsts:
+            route = routes[dst]
+            if route:
+                arrival = depart_at[route[-1]] + self.hop_latency + flits - 1
+            else:
+                arrival = self.sim.now + self.LOCAL_LATENCY + flits - 1
+            pkt = Packet(
+                src=src, dst=dst, kind=kind,
+                payload_bits=payload_bits, dst_port=dst_port, body=body,
+            )
+            self._deliver_at(arrival, pkt)
+            total_hops += len(route)
+        flit_hops = flits * len(tree_links)
+        self._record(kind, flits, len(tree_links))
+        self.stats.add("noc.multicast.packets")
+        self.stats.add("noc.multicast.saved_flit_hops",
+                       flits * total_hops - flit_hops)
+        return DeliveryInfo(flits=flits, hops=len(tree_links), flit_hops=flit_hops)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, flits: int, hops: int) -> None:
+        self.stats.add(f"noc.packets.{kind}")
+        self.stats.add(f"noc.flits.{kind}", flits)
+        self.stats.add(f"noc.flit_hops.{kind}", flits * hops)
+
+    def utilization(self, cycles: int) -> float:
+        """Average link utilization: flit-hops / (links x cycles)."""
+        if cycles <= 0:
+            return 0.0
+        flit_hops = sum(
+            self.stats.get(f"noc.flit_hops.{kind}")
+            for kind in ("ctrl", "data", "stream")
+        )
+        return flit_hops / (self.mesh.num_links * cycles)

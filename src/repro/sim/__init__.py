@@ -1,0 +1,7 @@
+"""Discrete-event simulation kernel, statistics and tracing."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Histogram, Stats
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["Simulator", "Stats", "Histogram", "Tracer", "TraceEvent"]

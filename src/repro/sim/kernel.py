@@ -1,0 +1,95 @@
+"""Discrete-event simulation kernel.
+
+Every component in the simulated chip (cores, caches, the NoC, DRAM
+controllers, stream engines) shares one :class:`Simulator`. Time is
+measured in core clock cycles (the paper's system runs at 2.0 GHz; see
+``repro.system.params``). Events are callbacks scheduled at absolute or
+relative times and executed in (time, insertion-order) order, so the
+simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events scheduled for the same cycle run in the order they were
+    scheduled (FIFO tie-break), which keeps runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; a zero delay runs later in the
+        current cycle (after all previously scheduled events for this
+        cycle).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.schedule_at(self.now + int(delay), fn, *args)
+
+    def schedule_at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute cycle ``when``."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at cycle {when}, current cycle is {self.now}"
+            )
+        heapq.heappush(self._queue, (int(when), self._seq, fn, args))
+        self._seq += 1
+
+    @property
+    def events_pending(self) -> int:
+        """Number of events still in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events run so far."""
+        return self._events_executed
+
+    def peek_time(self) -> Optional[int]:
+        """Cycle of the next pending event, or ``None`` if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if none remain."""
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        self.now = when
+        self._events_executed += 1
+        fn(*args)
+        return True
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains.
+
+        ``until`` bounds simulated time (events at cycles > ``until``
+        stay queued); ``max_events`` bounds the number of events run,
+        which guards against accidental livelock in tests. Returns the
+        current cycle when the run stops.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return self.now

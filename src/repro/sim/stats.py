@@ -1,0 +1,108 @@
+"""Statistics collection for the simulator.
+
+All components report into one :class:`Stats` tree owned by the chip.
+Counters are hierarchical dotted names (``"noc.flits.data"``); this
+mirrors gem5's stats organization and makes the experiment harness's
+job (grouping, normalizing against a baseline) mechanical.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+
+class Stats:
+    """A flat map of dotted counter names to numeric values.
+
+    Supports increment (:meth:`add`), max-tracking (:meth:`maximize`),
+    prefix queries (:meth:`group`) and merging (:meth:`merge`). Values
+    are ints or floats; missing counters read as 0.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._values[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name``."""
+        self._values[name] = value
+
+    def maximize(self, name: str, value: float) -> None:
+        """Keep the maximum seen value in ``name``."""
+        if value > self._values[name]:
+            self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def group(self, prefix: str) -> Dict[str, float]:
+        """All counters under ``prefix.`` with the prefix stripped."""
+        cut = len(prefix) + 1
+        return {
+            name[cut:]: value
+            for name, value in self._values.items()
+            if name.startswith(prefix + ".")
+        }
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters under ``prefix.``."""
+        return sum(self.group(prefix).values())
+
+    def merge(self, other: "Stats") -> None:
+        """Add every counter from ``other`` into this object."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def dump(self) -> str:
+        """Human-readable listing, one counter per line."""
+        width = max((len(k) for k in self._values), default=0)
+        lines = [f"{k:<{width}}  {v:g}" for k, v in sorted(self._values.items())]
+        return "\n".join(lines)
+
+
+class Histogram:
+    """A simple bucketed histogram for latency-style distributions."""
+
+    def __init__(self, bucket_size: int = 16) -> None:
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self.bucket_size = bucket_size
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def record(self, value: float) -> None:
+        self._buckets[int(value) // self.bucket_size] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted (bucket_start, count) pairs."""
+        return sorted(
+            (bucket * self.bucket_size, count)
+            for bucket, count in self._buckets.items()
+        )

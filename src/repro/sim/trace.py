@@ -1,0 +1,143 @@
+"""Event tracing: lightweight instrumentation for debugging runs.
+
+A :class:`Tracer` hooks a chip's components and records typed events
+(stream floats/sinks/migrations, NoC sends, cache misses) with
+timestamps, bounded by a ring buffer. It is what we used while
+bringing the protocol up, promoted to a supported tool::
+
+    chip = Chip(make_config("sf", ...))
+    tracer = Tracer(chip, kinds={"float", "sink", "migrate"})
+    chip.run(programs)
+    for ev in tracer.events:
+        print(ev)
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    kind: str
+    tile: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>9}] {self.kind:<8} tile {self.tile:<3} {self.detail}"
+
+
+class Tracer:
+    """Record selected event kinds from a chip's components.
+
+    ``kinds`` limits what is recorded (None = everything):
+    ``float``, ``sink``, ``migrate``, ``confluence``, ``credit``,
+    ``end``. Hooks are installed by wrapping the relevant methods, so
+    building a Tracer *after* the chip and *before* ``run``.
+    """
+
+    KINDS = ("float", "sink", "migrate", "confluence", "credit", "end")
+
+    def __init__(self, chip, kinds: Optional[Iterable[str]] = None,
+                 capacity: int = 100_000) -> None:
+        self.chip = chip
+        self.kinds: Optional[Set[str]] = set(kinds) if kinds else None
+        if self.kinds:
+            unknown = self.kinds - set(self.KINDS)
+            if unknown:
+                raise ValueError(f"unknown trace kinds {sorted(unknown)}")
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._install()
+
+    def _want(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
+
+    def _record(self, kind: str, tile: int, detail: str) -> None:
+        self.events.append(TraceEvent(
+            cycle=self.chip.sim.now, kind=kind, tile=tile, detail=detail,
+        ))
+
+    def _install(self) -> None:
+        for tile in self.chip.tiles:
+            if tile.se_core is not None:
+                self._wrap_se_core(tile.se_core, tile.tile_id)
+            if tile.se_l3 is not None:
+                self._wrap_se_l3(tile.se_l3, tile.tile_id)
+
+    def _wrap_se_core(self, se, tile_id: int) -> None:
+        if self._want("float"):
+            orig_float = se._float
+
+            def traced_float(stream, _orig=orig_float):
+                was = stream.floating
+                _orig(stream)
+                if not was and stream.floating:
+                    self._record("float", tile_id,
+                                 f"sid {stream.sid} @elem {stream.float_start}")
+            se._float = traced_float
+        if self._want("sink"):
+            orig_sink = se._sink
+
+            def traced_sink(stream, _orig=orig_sink):
+                was = stream.floating
+                _orig(stream)
+                if was and not stream.floating:
+                    self._record("sink", tile_id, f"sid {stream.sid}")
+            se._sink = traced_sink
+
+    def _wrap_se_l3(self, se3, tile_id: int) -> None:
+        if self._want("migrate"):
+            orig = se3._migrate
+
+            def traced_migrate(stream, addr, _orig=orig):
+                self._record(
+                    "migrate", tile_id,
+                    f"{stream.key} elem {stream.next_idx} -> bank "
+                    f"{se3.nuca.bank_of(addr)}",
+                )
+                _orig(stream, addr)
+            se3._migrate = traced_migrate
+        if self._want("confluence"):
+            orig_merge = se3._try_merge
+
+            def traced_merge(stream, _orig=orig_merge):
+                _orig(stream)
+                if stream.group is not None:
+                    self._record(
+                        "confluence", tile_id,
+                        f"{stream.key} joined group of "
+                        f"{len(stream.group.members)}",
+                    )
+            se3._try_merge = traced_merge
+        if self._want("credit"):
+            orig_credit = se3._credit
+
+            def traced_credit(body, _orig=orig_credit):
+                self._record("credit", tile_id,
+                             f"({body.requester},{body.sid}) +{body.count}")
+                _orig(body)
+            se3._credit = traced_credit
+        if self._want("end"):
+            orig_end = se3._end
+
+            def traced_end(body, _orig=orig_end):
+                self._record("end", tile_id,
+                             f"({body.requester},{body.sid})")
+                _orig(body)
+            se3._end = traced_end
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Counts per event kind."""
+        counts = Counter(ev.kind for ev in self.events)
+        lines = [f"{kind:<12} {counts.get(kind, 0):>8}" for kind in self.KINDS]
+        return "\n".join(lines)
+
+    def of_kind(self, kind: str):
+        return [ev for ev in self.events if ev.kind == kind]

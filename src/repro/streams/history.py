@@ -1,0 +1,78 @@
+"""Stream history table (Table II) and the float/sink policy inputs.
+
+The SE_core records each stream's runtime behaviour: requests sent,
+private-cache reuses (reported by the L2 when a stream-tagged line is
+hit again), private-cache misses, and whether an aliasing store was
+observed. After enough requests accumulate, a stream floats if it
+shows no reuse, a high miss ratio and no aliasing (SS IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class HistoryEntry:
+    """Table II: sid, #requests, #reuses, #misses, aliased."""
+
+    sid: int
+    requests: int = 0
+    reuses: int = 0
+    misses: int = 0
+    aliased: bool = False
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+
+class StreamHistoryTable:
+    """Per-core table of :class:`HistoryEntry`, keyed by stream id."""
+
+    def __init__(
+        self,
+        min_requests: int = 32,
+        miss_ratio_threshold: float = 0.7,
+    ) -> None:
+        self.min_requests = min_requests
+        self.miss_ratio_threshold = miss_ratio_threshold
+        self._entries: Dict[int, HistoryEntry] = {}
+
+    def entry(self, sid: int) -> HistoryEntry:
+        ent = self._entries.get(sid)
+        if ent is None:
+            ent = HistoryEntry(sid=sid)
+            self._entries[sid] = ent
+        return ent
+
+    def record_request(self, sid: int) -> None:
+        self.entry(sid).requests += 1
+
+    def record_miss(self, sid: int) -> None:
+        self.entry(sid).misses += 1
+
+    def record_reuse(self, sid: int) -> None:
+        self.entry(sid).reuses += 1
+
+    def record_alias(self, sid: int) -> None:
+        self.entry(sid).aliased = True
+
+    def should_float(self, sid: int) -> bool:
+        """SS IV-D: float once enough requests accumulate with no
+        reuse, a high miss ratio, and no aliasing stores."""
+        ent = self._entries.get(sid)
+        if ent is None or ent.requests < self.min_requests:
+            return False
+        return (
+            not ent.aliased
+            and ent.reuses == 0
+            and ent.miss_ratio >= self.miss_ratio_threshold
+        )
+
+    def reset(self, sid: int) -> None:
+        self._entries.pop(sid, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,108 @@
+"""Stream-management message bodies (config / migrate / end / credit).
+
+These ride in NoC packets of traffic class ``STREAM`` — the "extra
+messages to manage floating streams" band in Figure 15. Payload sizes
+follow Table I (450-bit affine config, +60 bits per indirect stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.streams.isa import (
+    AFFINE_FIELDS,
+    StreamSpec,
+    config_packet_bits,
+)
+
+
+@dataclass
+class FloatConfig:
+    """SE_L2 -> SE_L3: float a stream (plus chained indirect streams)."""
+
+    spec: StreamSpec
+    children: List[StreamSpec]
+    start_idx: int
+    credits: int
+    requester: int
+
+    def bits(self) -> int:
+        return config_packet_bits([self.spec] + list(self.children))
+
+
+@dataclass
+class Migrate:
+    """SE_L3 -> SE_L3: stream crosses a NUCA interleave boundary."""
+
+    spec: StreamSpec
+    children: List[StreamSpec]
+    next_idx: int
+    credits: int
+    requester: int
+
+    def bits(self) -> int:
+        # Config fields plus the current iteration and credit count.
+        return config_packet_bits([self.spec] + list(self.children)) + \
+            AFFINE_FIELDS["iter"] + 16
+
+
+@dataclass
+class EndStream:
+    """SE_L2 -> SE_L3: terminate a floating stream (early end / sink)."""
+
+    requester: int
+    sid: int
+
+    def bits(self) -> int:
+        return 16
+
+
+@dataclass
+class EndAck:
+    """SE_L3 -> SE_L2: termination acknowledged."""
+
+    sid: int
+
+    def bits(self) -> int:
+        return 16
+
+
+@dataclass
+class Credit:
+    """SE_L2 -> SE_L3: coarse-grained flow-control credit grant."""
+
+    requester: int
+    sid: int
+    count: int
+
+    def bits(self) -> int:
+        return 32
+
+
+@dataclass
+class StreamInv:
+    """SE_L3 -> SE_L2 (stream-grain coherence, SS V-B): another core
+    wrote into this stream's fetched range — the stream must
+    re-execute (sink); its buffered data is stale."""
+
+    sid: int
+    addr: int
+
+    def bits(self) -> int:
+        return 64
+
+
+@dataclass
+class IndFetch:
+    """SE_L3 -> SE_L3: fetch one indirect element at its home bank and
+    respond (subline) directly to the requesting tile."""
+
+    requester: int
+    sid: int
+    element: int
+    addr: int
+    data_bytes: int
+
+    def bits(self) -> int:
+        return 64

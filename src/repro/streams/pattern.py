@@ -1,0 +1,135 @@
+"""Stream access patterns: affine (up to 3 nested levels) and indirect.
+
+The decoupled-stream ISA (SS III-A, Table I) encodes an affine stream
+as a base address, up to three (stride, length) levels and an element
+size. The flat element index ``i`` decomposes mixed-radix over the
+level lengths (innermost level first):
+
+    i = i2 * (len1 * len0) + i1 * len0 + i0
+    addr(i) = base + i0*strd0 + i1*strd1 + i2*strd2
+
+An indirect stream ``B[A[i] + w]`` (equation 1, SS IV-B) hangs off an
+affine *index* stream over A: for each element the index value is read
+from the actual workload array, scaled, and offset into B. Because the
+simulator is execution-driven at the address level, the indirect
+pattern holds a reference to the real (numpy or list) index array so
+remote SE_L3s can chain addresses exactly like the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mem.addr import LINE_SIZE, line_addr
+
+
+@dataclass(frozen=True)
+class AffinePattern:
+    """A (up to) 3-level affine access pattern."""
+
+    base: int
+    strides: Tuple[int, ...]  # bytes per step, innermost first
+    lengths: Tuple[int, ...]  # trip counts, innermost first
+    elem_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.strides) <= 3):
+            raise ValueError("affine patterns support 1-3 levels")
+        if len(self.strides) != len(self.lengths):
+            raise ValueError("strides and lengths must align")
+        if any(length <= 0 for length in self.lengths):
+            raise ValueError("lengths must be positive")
+        if self.elem_size <= 0:
+            raise ValueError("elem_size must be positive")
+
+    def __len__(self) -> int:
+        total = 1
+        for length in self.lengths:
+            total *= length
+        return total
+
+    def address(self, idx: int) -> int:
+        """Virtual address of flat element ``idx``."""
+        if not (0 <= idx < len(self)):
+            raise IndexError(f"element {idx} out of range ({len(self)})")
+        addr = self.base
+        remaining = idx
+        for stride, length in zip(self.strides, self.lengths):
+            addr += (remaining % length) * stride
+            remaining //= length
+        return addr
+
+    def footprint_bytes(self) -> int:
+        """Size of the touched address range (upper bound: distinct
+        bytes assuming dense innermost level)."""
+        lo = hi = self.base
+        # Evaluate the extreme corners of the iteration space.
+        for stride, length in zip(self.strides, self.lengths):
+            span = stride * (length - 1)
+            if span >= 0:
+                hi += span
+            else:
+                lo += span
+        return hi - lo + self.elem_size
+
+    def lines(self) -> List[int]:
+        """Distinct cache lines in iteration order (test helper; O(n))."""
+        seen: List[int] = []
+        last = None
+        for idx in range(len(self)):
+            line = line_addr(self.address(idx))
+            if line != last and line not in seen:
+                seen.append(line)
+            last = line
+        return seen
+
+    def same_shape(self, other: "AffinePattern") -> bool:
+        """Identical parameters — the stream-confluence merge test
+        (SS IV-C compares base, strides, lengths of candidate streams)."""
+        return (
+            self.base == other.base
+            and self.strides == other.strides
+            and self.lengths == other.lengths
+            and self.elem_size == other.elem_size
+        )
+
+
+@dataclass(frozen=True)
+class IndirectPattern:
+    """An indirect pattern ``B[A[i] + w]`` chained to an affine stream.
+
+    ``index_array`` is the actual A[] contents (any integer sequence);
+    ``index_pattern`` describes how A is walked. The indirect element
+    for flat index ``i`` lives at::
+
+        base + index_array[element_index(i)] * scale + field_offset
+    """
+
+    base: int
+    index_pattern: AffinePattern
+    index_array: Sequence[int] = field(hash=False, compare=False)
+    scale: int = 8  # B element size the index is scaled by
+    field_offset: int = 0  # the "+w" field/window offset
+    elem_size: int = 8  # bytes actually consumed per element
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.elem_size <= 0:
+            raise ValueError("scale and elem_size must be positive")
+
+    def __len__(self) -> int:
+        return len(self.index_pattern)
+
+    def element_index(self, idx: int) -> int:
+        """Logical A[] index for flat element ``idx``."""
+        offset = self.index_pattern.address(idx) - self.index_pattern.base
+        if offset % self.index_pattern.elem_size:
+            raise ValueError("index stream address not element-aligned")
+        return offset // self.index_pattern.elem_size
+
+    def index_value(self, idx: int) -> int:
+        return int(self.index_array[self.element_index(idx)])
+
+    def address(self, idx: int) -> int:
+        """Virtual address of indirect element ``idx``."""
+        return self.base + self.index_value(idx) * self.scale + self.field_offset

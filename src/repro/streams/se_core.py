@@ -1,0 +1,400 @@
+"""Core-side stream engine (SE_core).
+
+Holds stream definitions after ``stream_cfg``, runs ahead of the core
+issuing binding prefetches into stream FIFOs, and owns the
+float/sink policy (SS IV-D):
+
+- **Float at configure time** when the stream's known footprint
+  already exceeds the private L2.
+- **Float from history** when the history table (Table II) shows
+  enough requests with no private-cache reuse, a high miss ratio and
+  no aliasing stores.
+- **Sink** (undo the float) on an aliasing store, or after 8
+  consecutive private-cache hits for a floating stream.
+
+Non-floated streams issue normal cacheable requests through the L1
+(tagged with their stream id so the caches can report reuse and tag
+fills for Figure 2a). Floated streams' requests still check the
+L1/L2 tags but are intercepted by the SE_L2 on miss.
+
+Memory ordering: the prefetch element buffer (PEB) is modelled as the
+set of issued-but-unconsumed elements; :meth:`notify_store` checks
+committed stores against every active load stream's in-flight window,
+flushing and re-issuing on an alias hit and marking the stream
+aliased (which sinks it and disables further floating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.mem.l1 import L1Cache, L1Request
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.streams.history import StreamHistoryTable
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern, IndirectPattern
+
+
+@dataclass
+class CoreStream:
+    """Runtime state of one configured stream."""
+
+    spec: StreamSpec
+    fifo_elems: int
+    next_issue: int = 0
+    claimed: int = 0  # elements claimed by core-side stream_loads
+    freed: int = 0  # elements delivered to the core (FIFO slots freed)
+    ready: set = field(default_factory=set)
+    waiters: Dict[int, List[Callable[[], None]]] = field(default_factory=dict)
+    floating: bool = False
+    float_start: int = 0  # first element the SE_L3 serves
+    consecutive_hits: int = 0
+    prev_line: int = -1  # last line observed by the policy bookkeeping
+    children: List["CoreStream"] = field(default_factory=list)
+    parent: Optional["CoreStream"] = None
+    addr_range: tuple = (0, 0)
+
+    @property
+    def sid(self) -> int:
+        return self.spec.sid
+
+    @property
+    def length(self) -> int:
+        return self.spec.length
+
+    def ready_through(self) -> int:
+        """Highest contiguous ready element index (exclusive)."""
+        idx = self.freed
+        while idx in self.ready:
+            idx += 1
+        return idx
+
+
+class SECore:
+    """Stream engine in the core (SS III-B + IV-D)."""
+
+    SINK_HIT_THRESHOLD = 8
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats,
+        tile: int,
+        l1: L1Cache,
+        se_l2=None,
+        fifo_bytes: int = 1024,
+        max_streams: int = 12,
+        l2_capacity: int = 256 * 1024,
+        float_enabled: bool = False,
+        indirect_float_enabled: bool = True,
+        history: Optional[StreamHistoryTable] = None,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.tile = tile
+        self.l1 = l1
+        self.se_l2 = se_l2
+        self.fifo_bytes = fifo_bytes
+        self.max_streams = max_streams
+        self.l2_capacity = l2_capacity
+        self.float_enabled = float_enabled
+        self.indirect_float_enabled = indirect_float_enabled
+        self.history = history or StreamHistoryTable()
+        self.streams: Dict[int, CoreStream] = {}
+        if se_l2 is not None:
+            se_l2.se_core = self
+
+    # ------------------------------------------------------------------
+    # configuration (stream_cfg / stream_end)
+    # ------------------------------------------------------------------
+    def configure(self, specs: List[StreamSpec]) -> None:
+        if len(self.streams) + len(specs) > self.max_streams:
+            raise RuntimeError(
+                f"SE_core supports {self.max_streams} streams; "
+                f"{len(self.streams) + len(specs)} configured"
+            )
+        load_specs = [s for s in specs if s.kind == "load"]
+        share = max(1, self.fifo_bytes // max(
+            1, sum(s.pattern.elem_size for s in load_specs)
+        ))
+        for spec in specs:
+            stream = CoreStream(spec=spec, fifo_elems=share)
+            stream.addr_range = self._range_of(spec)
+            self.streams[spec.sid] = stream
+            self.stats.add("se_core.streams_configured")
+        # Wire indirect children to their parents.
+        for spec in specs:
+            if spec.parent_sid is not None:
+                child = self.streams[spec.sid]
+                parent = self.streams[spec.parent_sid]
+                child.parent = parent
+                parent.children.append(child)
+        # Float-at-configure: known-length footprint beyond the L2.
+        if self.float_enabled:
+            for spec in specs:
+                stream = self.streams[spec.sid]
+                if self._floats_at_config(stream):
+                    self._float(stream)
+        for spec in specs:
+            self._pump(self.streams[spec.sid])
+
+    def _range_of(self, spec: StreamSpec) -> tuple:
+        pat = spec.pattern
+        if isinstance(pat, IndirectPattern):
+            # Conservative: the whole target array could be touched.
+            return (pat.base, pat.base + pat.scale * (max_or(pat.index_array, 0) + 1))
+        lo = hi = pat.base
+        for stride, length in zip(pat.strides, pat.lengths):
+            span = stride * (length - 1)
+            if span >= 0:
+                hi += span
+            else:
+                lo += span
+        return (lo, hi + pat.elem_size)
+
+    def _floats_at_config(self, stream: CoreStream) -> bool:
+        if stream.spec.kind != "load" or stream.spec.is_indirect:
+            # Indirect streams float with their parent.
+            return False
+        footprint = stream.spec.pattern.footprint_bytes()
+        for child in stream.children:
+            # The gather target range counts toward the footprint.
+            lo, hi = self._range_of(child.spec)
+            footprint += hi - lo
+        return footprint > self.l2_capacity
+
+    def end(self, sids: List[int]) -> None:
+        for sid in sids:
+            stream = self.streams.pop(sid, None)
+            if stream is None:
+                continue
+            if stream.floating and self.se_l2 is not None:
+                self.se_l2.end_stream(sid)
+            self.history.reset(sid)
+
+    # ------------------------------------------------------------------
+    # floating / sinking
+    # ------------------------------------------------------------------
+    def _float(self, stream: CoreStream) -> None:
+        if stream.floating or self.se_l2 is None:
+            return
+        stream.floating = True
+        stream.float_start = stream.next_issue
+        float_children = (
+            stream.children if self.indirect_float_enabled else []
+        )
+        for child in float_children:
+            child.floating = True
+            # The SE_L3 chains children from the parent's float point;
+            # earlier child elements still use the normal path.
+            child.float_start = stream.next_issue
+        self.stats.add("se_core.floats")
+        self.se_l2.float_stream(
+            stream.spec,
+            start_idx=stream.next_issue,
+            children=[c.spec for c in float_children],
+        )
+
+    def _sink(self, stream: CoreStream) -> None:
+        if stream.parent is not None:
+            # Indirect streams float and sink with their parent.
+            self._sink(stream.parent)
+            return
+        if not stream.floating:
+            return
+        stream.floating = False
+        for child in stream.children:
+            child.floating = False
+        self.stats.add("se_core.sinks")
+        # Start the history over: without this, a still-qualifying
+        # history entry would re-float the stream the next cycle and
+        # the engine would thrash between floating and sinking. The
+        # aliased bit survives the reset (Table II): an aliased
+        # stream must not re-float.
+        for s in [stream] + stream.children:
+            aliased = self.history.entry(s.sid).aliased
+            self.history.reset(s.sid)
+            if aliased:
+                self.history.record_alias(s.sid)
+        if self.se_l2 is not None:
+            self.se_l2.end_stream(stream.sid)
+
+    def _maybe_float_from_history(self, stream: CoreStream) -> None:
+        if (
+            self.float_enabled
+            and not stream.floating
+            and stream.spec.kind == "load"
+            and not stream.spec.is_indirect
+            and (
+                self.history.should_float(stream.sid)
+                or any(
+                    self.history.should_float(c.sid) for c in stream.children
+                )
+            )
+        ):
+            self._float(stream)
+
+    def on_stream_reuse(self, sid: int) -> None:
+        """L2 hook: a stream-tagged line was reused in the L2."""
+        self.history.record_reuse(sid)
+
+    def flush_floating(self) -> None:
+        """Context switch (SS IV-E): discard all floating streams.
+
+        Stream floating adds no architectural state, so switching is
+        just sinking every float; on switch-back nothing is floating
+        and the policies re-decide from scratch.
+        """
+        for stream in list(self.streams.values()):
+            if stream.floating and stream.parent is None:
+                self._sink(stream)
+        self.stats.add("se_core.context_flushes")
+
+    # ------------------------------------------------------------------
+    # issue machinery
+    # ------------------------------------------------------------------
+    def _pump(self, stream: CoreStream) -> None:
+        """Issue requests up to the FIFO run-ahead window."""
+        if stream.spec.kind != "load":
+            return
+        limit = min(stream.length, stream.freed + stream.fifo_elems)
+        while stream.next_issue < limit:
+            idx = stream.next_issue
+            if stream.parent is not None:
+                # Indirect: address needs the parent's element value.
+                if idx >= stream.parent.ready_through() and not stream.floating:
+                    break  # parent data not there yet; re-pumped later
+            stream.next_issue = idx + 1
+            self._issue(stream, idx)
+
+    def _issue(self, stream: CoreStream, idx: int, reissue: bool = False) -> None:
+        addr = stream.spec.pattern.address(idx)
+        sid = stream.sid
+        self.stats.add("se_core.requests")
+
+        def on_done() -> None:
+            self._element_ready(stream, idx)
+
+        req = L1Request(
+            addr=addr,
+            stream_id=sid,
+            element=idx,
+            floating=stream.floating and idx >= stream.float_start,
+            on_done=on_done,
+        )
+        # Float/sink policy bookkeeping runs at cache-line grain: the
+        # 2nd..16th element of a line is neither a fresh request nor a
+        # hit/miss sample (it merges into the same line fetch).
+        line = addr >> 6
+        if line != stream.prev_line:
+            stream.prev_line = line
+            self.history.record_request(sid)
+            # "Miss" means missing the whole private hierarchy
+            # (Table II tracks private-cache misses); secondary misses
+            # merged into an in-flight MSHR don't count either.
+            hit = (
+                self.l1.array.contains(addr)
+                or self.l1.mshr.lookup(addr) is not None
+                or self.l1.l2.array.contains(addr)
+            )
+            if not hit:
+                self.history.record_miss(sid)
+                stream.consecutive_hits = 0
+            else:
+                stream.consecutive_hits += 1
+                if (
+                    stream.floating
+                    and stream.consecutive_hits >= self.SINK_HIT_THRESHOLD
+                ):
+                    # The data is locally cached after all (SS IV-D).
+                    self._sink(stream)
+        self.l1.access(req)
+        if not reissue:
+            self._maybe_float_from_history(stream)
+
+    def _element_ready(self, stream: CoreStream, idx: int) -> None:
+        stream.ready.add(idx)
+        for waiter in stream.waiters.pop(idx, []):
+            waiter()
+        for child in stream.children:
+            self._pump(child)
+
+    # ------------------------------------------------------------------
+    # core-side consumption (stream_load / stream_store)
+    # ------------------------------------------------------------------
+    def consume(self, sid: int, on_ready: Callable[[], None]) -> None:
+        """stream_load: claim the next element; ``on_ready`` fires once
+        its data is delivered (FIFO slot freed at that point).
+
+        Pipelined iterations may claim ahead of deliveries — each call
+        gets a distinct element index.
+        """
+        stream = self.streams[sid]
+        idx = stream.claimed
+        stream.claimed = idx + 1
+
+        def deliver() -> None:
+            stream.ready.discard(idx)
+            stream.freed = max(stream.freed, idx + 1)
+            if self.se_l2 is not None and stream.floating:
+                self.se_l2.on_consumed(sid, idx)
+            self._pump(stream)
+            on_ready()
+
+        if idx in stream.ready:
+            self.sim.schedule(0, deliver)
+        else:
+            stream.waiters.setdefault(idx, []).append(deliver)
+            # Ensure the element is on its way (e.g. FIFO share 0 edge).
+            if stream.next_issue <= idx:
+                self._pump(stream)
+
+    def store_next(self, sid: int) -> int:
+        """stream_store: generate the next store address and advance."""
+        stream = self.streams[sid]
+        idx = stream.claimed
+        stream.claimed = idx + 1
+        stream.freed = idx + 1
+        return stream.spec.pattern.address(idx)
+
+    # ------------------------------------------------------------------
+    # memory disambiguation (PEB, SS IV-E)
+    # ------------------------------------------------------------------
+    def notify_store(self, addr: int, size: int = 8) -> None:
+        """A store committed: check it against in-flight stream windows."""
+        for stream in list(self.streams.values()):
+            if stream.spec.kind != "load":
+                continue
+            lo, hi = stream.addr_range
+            if not (lo <= addr < hi):
+                continue
+            # Check the precise in-flight (PEB) window.
+            aliased = False
+            for idx in range(stream.freed, stream.next_issue):
+                elem_addr = stream.spec.pattern.address(idx)
+                if elem_addr <= addr < elem_addr + stream.spec.pattern.elem_size:
+                    aliased = True
+                    break
+            if not aliased:
+                continue
+            self.stats.add("se_core.alias_flushes")
+            self.history.record_alias(stream.sid)
+            if stream.floating:
+                self._sink(stream)
+            # Flush the PEB: drop and re-issue unconsumed elements.
+            for idx in range(stream.freed, stream.next_issue):
+                if idx in stream.ready:
+                    stream.ready.discard(idx)
+                self._issue(stream, idx, reissue=True)
+
+
+def max_or(seq, default):
+    """Max of a (possibly numpy) sequence with a default for empty."""
+    try:
+        if len(seq) == 0:
+            return default
+    except TypeError:
+        return default
+    return int(max(seq))

@@ -1,0 +1,464 @@
+"""L2-side stream engine (SE_L2, Figure 9).
+
+The requesting tile's SE_L2:
+
+- forwards float configurations to the home L3 bank of the stream's
+  first element (after translating through the L2 TLB);
+- buffers DataU responses from remote SE_L3s in an address-tagged
+  stream buffer (the data is *not* cached — SS V-A);
+- intercepts the core's floating-stream requests that miss in the
+  private caches and answers them from the buffer;
+- runs the coarse-grained credit protocol: credits return to the
+  current bank only once half the buffer share has been freed,
+  amortizing flow-control messages (SS IV-A);
+- watches dirty L2 evictions for aliasing with buffered stream data,
+  sinking the stream when found (SS IV-E, second window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mem.addr import NucaMap, line_addr
+from repro.mem.l2 import L2AccessResult, L2Cache, L2Request
+from repro.mem.tlb import Tlb
+from repro.noc.message import STREAM, Packet
+from repro.noc.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.streams.isa import StreamSpec
+from repro.streams.messages import (
+    Credit,
+    EndAck,
+    EndStream,
+    FloatConfig,
+    StreamInv,
+)
+
+
+@dataclass
+class Follower:
+    """A constant-offset shifted copy of a floated stream (SS IV-B).
+
+    Follower element ``i`` reads the leader's element ``i - delta``
+    (``delta > 0``: the leader runs ahead). Only the leader fetches
+    from the L3 — this is the stencil-reuse optimization that keeps
+    A[i-1], A[i], A[i+1] from tripling floated traffic.
+    """
+
+    spec: StreamSpec
+    delta: int
+    consumed: int = 0
+
+
+@dataclass
+class BufferedStream:
+    """Stream-buffer state for one floated stream."""
+
+    spec: StreamSpec
+    children: List[StreamSpec]
+    capacity: int  # buffer share, in elements (credits granted at once)
+    granted: int  # total credits handed to the SE_L3 side
+    start_idx: int = 0  # first element the floated stream covers
+    last_bank: int = 0  # bank that last sent us data (credit target)
+    visited_banks: set = field(default_factory=set)  # for SS V-B dealloc
+    ready: set = field(default_factory=set)
+    served_by_cache: set = field(default_factory=set)
+    waiters: Dict[int, List[L2Request]] = field(default_factory=dict)
+    pending_free: int = 0
+    child_ready: Dict[int, set] = field(default_factory=dict)  # sid -> idx set
+    child_waiters: Dict[Tuple[int, int], List[L2Request]] = field(default_factory=dict)
+    # Constant-offset reuse (SS IV-B):
+    followers: Dict[int, Follower] = field(default_factory=dict)  # sid -> f
+    consumed_leader: int = 0
+    freed_through: int = 0
+
+    @property
+    def sid(self) -> int:
+        return self.spec.sid
+
+    def releasable_through(self) -> int:
+        """Last element (exclusive) no consumer still needs."""
+        through = self.consumed_leader
+        for f in self.followers.values():
+            through = min(through, f.consumed - f.delta)
+        return through
+
+
+class SEL2:
+    """Stream engine at the private L2 (SS IV-A, Figure 9)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        stats: Stats,
+        tile: int,
+        l2: L2Cache,
+        nuca: NucaMap,
+        buffer_bytes: int = 16 * 1024,
+        stream_grain_coherence: bool = False,
+        tlb: Optional[Tlb] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.stats = stats
+        self.tile = tile
+        self.l2 = l2
+        self.nuca = nuca
+        self.buffer_bytes = buffer_bytes
+        self.stream_grain_coherence = stream_grain_coherence
+        self.tlb = tlb or Tlb(entries=2048, hit_latency=8)
+        self.streams: Dict[int, BufferedStream] = {}
+        self.se_core = None  # wired by SECore.__init__
+        l2.se_l2 = self
+        net.register(tile, "se_l2", self.handle)
+
+    # ------------------------------------------------------------------
+    # floating / termination (SE_core-facing)
+    # ------------------------------------------------------------------
+    def float_stream(
+        self, spec: StreamSpec, start_idx: int, children: List[StreamSpec],
+    ) -> None:
+        if not children and self._try_follow(spec):
+            return
+        granule = spec.pattern.elem_size + sum(
+            c.pattern.elem_size for c in children
+        )
+        active = max(1, len(self.streams) + 1)
+        capacity = max(2, self.buffer_bytes // granule // active)
+        stream = BufferedStream(
+            spec=spec, children=list(children),
+            capacity=capacity, granted=start_idx + capacity,
+            start_idx=start_idx,
+        )
+        stream.consumed_leader = start_idx
+        stream.freed_through = start_idx
+        stream.last_bank = self.nuca.bank_of(
+            spec.pattern.address(min(start_idx, spec.length - 1))
+        )
+        for child in children:
+            stream.child_ready[child.sid] = set()
+        self.streams[spec.sid] = stream
+        self.stats.add("se_l2.floats")
+        first_addr = spec.pattern.address(min(start_idx, spec.length - 1))
+        translate_cost = self.tlb.translate(first_addr)
+        body = FloatConfig(
+            spec=spec, children=list(children), start_idx=start_idx,
+            credits=capacity, requester=self.tile,
+        )
+        self.net.send(Packet(
+            src=self.tile, dst=self.nuca.bank_of(first_addr), kind=STREAM,
+            payload_bits=body.bits(), dst_port="se_l3", body=body,
+        ), extra_delay=translate_cost)
+
+    def _try_follow(self, spec: StreamSpec) -> bool:
+        """SS IV-B constant-offset reuse: if an already-floated stream
+        has the same shape at a small positive offset ahead of this
+        one, register this stream as its follower — no config packet,
+        no extra L3 fetches."""
+        pat = spec.pattern
+        if spec.is_indirect or not hasattr(pat, "strides"):
+            return False
+        stride0 = pat.strides[0]
+        if stride0 <= 0:
+            return False
+        for leader in self.streams.values():
+            lpat = leader.spec.pattern
+            if leader.spec.is_indirect or leader.children:
+                continue
+            if (
+                getattr(lpat, "strides", None) != pat.strides
+                or lpat.lengths != pat.lengths
+                or lpat.elem_size != pat.elem_size
+            ):
+                continue
+            diff = lpat.base - pat.base
+            if diff <= 0 or diff % stride0:
+                continue
+            delta = diff // stride0
+            if delta > max(1, leader.capacity // 2):
+                continue
+            leader.followers[spec.sid] = Follower(spec=spec, delta=delta)
+            self.stats.add("se_l2.followers")
+            return True
+        return False
+
+    def end_stream(self, sid: int) -> None:
+        # Followers detach without any network traffic.
+        for leader in self.streams.values():
+            if sid in leader.followers:
+                follower = leader.followers.pop(sid)
+                follower.consumed = leader.spec.length + follower.delta
+                self._release(leader)
+                return
+        stream = self.streams.pop(sid, None)
+        if stream is None:
+            return
+        self.stats.add("se_l2.ends")
+        if self.stream_grain_coherence:
+            # SS V-B disadvantage #2: deallocation messages to every
+            # bank that still tracks this stream's range data.
+            for bank in stream.visited_banks - {stream.last_bank}:
+                dealloc = EndStream(requester=self.tile, sid=sid)
+                self.stats.add("se_l2.range_deallocs")
+                self.net.send(Packet(
+                    src=self.tile, dst=bank, kind=STREAM,
+                    payload_bits=dealloc.bits(), dst_port="se_l3",
+                    body=dealloc,
+                ))
+        # Send the end packet to the stream's current bank (tracked as
+        # the source of its most recent data; SE_L3s forward if the
+        # stream migrated meanwhile) — SS IV-A.
+        body = EndStream(requester=self.tile, sid=sid)
+        self.net.send(Packet(
+            src=self.tile, dst=stream.last_bank, kind=STREAM,
+            payload_bits=body.bits(), dst_port="se_l3", body=body,
+        ))
+        # Answer any still-waiting core requests through the normal
+        # (non-floating) path so nothing deadlocks.
+        for idx, reqs in list(stream.waiters.items()):
+            for req in reqs:
+                self._bounce_to_memory(req)
+        for (_sid, _idx), reqs in list(stream.child_waiters.items()):
+            for req in reqs:
+                self._bounce_to_memory(req)
+
+    def _bounce_to_memory(self, req: L2Request) -> None:
+        req.floating = False
+        self.sim.schedule(0, self.l2.access, req)
+
+    # ------------------------------------------------------------------
+    # core request interception
+    # ------------------------------------------------------------------
+    def _resolve(self, sid: Optional[int]) -> Optional[Tuple[BufferedStream, str]]:
+        """Map a stream id to (buffered stream, role): the stream
+        itself ("leader"), an indirect child, or a follower."""
+        if sid is None:
+            return None
+        stream = self.streams.get(sid)
+        if stream is not None:
+            return stream, "leader"
+        for cand in self.streams.values():
+            if any(c.sid == sid for c in cand.children):
+                return cand, "child"
+            if sid in cand.followers:
+                return cand, "follower"
+        return None
+
+    def _find(self, sid: Optional[int]) -> Optional[BufferedStream]:
+        hit = self._resolve(sid)
+        return hit[0] if hit else None
+
+    def intercept(self, req: L2Request) -> None:
+        """A floating-stream request missed the private caches: serve
+        it from the stream buffer (L2 latency already paid)."""
+        hit = self._resolve(req.stream_id)
+        if hit is None:
+            # Stream already ended/sunk: fall back to the memory path.
+            self._bounce_to_memory(req)
+            return
+        stream, role = hit
+        self.stats.add("se_l2.intercepts")
+        idx = req.element
+        if role == "leader":
+            if idx < stream.start_idx:
+                # A stale in-flight request from before the float (or
+                # from a sink/re-float cycle): the SE_L3 will never
+                # send this element — use the normal path.
+                self._bounce_to_memory(req)
+            elif idx in stream.ready or idx < stream.freed_through:
+                self._respond(req)
+            else:
+                stream.waiters.setdefault(idx, []).append(req)
+        elif role == "follower":
+            leader_idx = idx - stream.followers[req.stream_id].delta
+            if leader_idx < stream.start_idx:
+                # Elements before the leader's window: normal path.
+                self._bounce_to_memory(req)
+            elif leader_idx in stream.ready or leader_idx < stream.freed_through:
+                self.stats.add("se_l2.follower_hits")
+                self._respond(req)
+            else:
+                stream.waiters.setdefault(leader_idx, []).append(req)
+        else:  # indirect child
+            if idx < stream.start_idx:
+                self._bounce_to_memory(req)
+                return
+            ready = stream.child_ready.get(req.stream_id, set())
+            if idx in ready:
+                self._respond(req)
+            else:
+                stream.child_waiters.setdefault(
+                    (req.stream_id, idx), []
+                ).append(req)
+
+    def _respond(self, req: L2Request) -> None:
+        if req.on_done is not None:
+            result = L2AccessResult(
+                addr=line_addr(req.addr), writable=False, uncached=True,
+            )
+            self.sim.schedule(1, req.on_done, result)
+
+    # ------------------------------------------------------------------
+    # network ingress: DataU / EndAck
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet) -> None:
+        body = pkt.body
+        if isinstance(body, EndAck):
+            self.stats.add("se_l2.end_acks")
+            return
+        if isinstance(body, StreamInv):
+            self._stream_inv(body)
+            return
+        # DataU (CohMsg): possibly a confluence multicast, in which
+        # case se_info lists (tile, sid) members — pick ours.
+        sid = body.stream_id
+        if isinstance(body.se_info, list):
+            for tile, member_sid in body.se_info:
+                if tile == self.tile:
+                    sid = member_sid
+                    break
+        stream = self._find(sid)
+        if stream is None:
+            self.stats.add("se_l2.orphan_data")
+            return
+        self.stats.add("se_l2.data_arrivals")
+        idx = body.element
+        if sid == stream.sid:
+            # Credits chase the *parent* stream's data source (child
+            # sublines come from their own home banks).
+            stream.last_bank = pkt.src
+            if self.stream_grain_coherence:
+                stream.visited_banks.add(pkt.src)
+            if isinstance(idx, tuple):
+                # Coalesced subline elements: one DataU covers a range.
+                for i in range(idx[0], idx[1]):
+                    self._parent_data(stream, i)
+            else:
+                self._parent_data(stream, idx)
+        else:
+            self._child_data(stream, sid, idx)
+
+    def _parent_data(self, stream: BufferedStream, idx: int) -> None:
+        stream.ready.add(idx)
+        for req in stream.waiters.pop(idx, []):
+            self._respond(req)
+        if idx in stream.served_by_cache:
+            # The caches already served the core; release bookkeeping
+            # recorded the consumption when the hit happened.
+            stream.served_by_cache.discard(idx)
+            self._release(stream)
+
+    def _child_data(self, stream: BufferedStream, sid: int, idx: int) -> None:
+        stream.child_ready.setdefault(sid, set()).add(idx)
+        for req in stream.child_waiters.pop((sid, idx), []):
+            self._respond(req)
+
+    # ------------------------------------------------------------------
+    # consumption, credits
+    # ------------------------------------------------------------------
+    def on_consumed(self, sid: int, idx: int) -> None:
+        """SE_core consumed an element: advance release bookkeeping
+        (a slot only frees once every consumer — leader and followers
+        — is past it)."""
+        hit = self._resolve(sid)
+        if hit is None:
+            return
+        stream, role = hit
+        if role == "child":
+            # Child elements free with the parent (shared credits).
+            stream.child_ready.get(sid, set()).discard(idx)
+            return
+        if role == "follower":
+            follower = stream.followers[sid]
+            follower.consumed = max(follower.consumed, idx + 1)
+        else:
+            stream.consumed_leader = max(stream.consumed_leader, idx + 1)
+        self._release(stream)
+
+    def _release(self, stream: BufferedStream) -> None:
+        """Free buffer slots no consumer still needs; batch credits."""
+        through = min(stream.releasable_through(), stream.spec.length)
+        freed = through - stream.freed_through
+        if freed <= 0:
+            return
+        for e in range(stream.freed_through, through):
+            stream.ready.discard(e)
+        stream.freed_through = through
+        self._free(stream, freed)
+
+    def _free(self, stream: BufferedStream, count: int) -> None:
+        stream.pending_free += count
+        if stream.pending_free * 2 < stream.capacity:
+            return
+        if stream.granted >= stream.spec.length:
+            return  # stream will finish on current credits
+        # Coarse-grained credit return (SS IV-A): half-buffer batches,
+        # addressed to the bank of the last *allocated* element — the
+        # bank the stream is at (or has migrated through, in which
+        # case the SE_L3 forwarding chain routes the credit onward).
+        grant = stream.pending_free
+        stream.pending_free = 0
+        stream.granted += grant
+        body = Credit(requester=self.tile, sid=stream.sid, count=grant)
+        self.stats.add("se_l2.credits_sent")
+        self.net.send(Packet(
+            src=self.tile, dst=stream.last_bank,
+            kind=STREAM, payload_bits=body.bits(), dst_port="se_l3",
+            body=body,
+        ))
+
+    def on_cache_hit(self, sid: Optional[int], idx: Optional[int]) -> None:
+        """The private caches served a floating element (SS IV-A):
+        record the consumption so the slot frees normally; if the
+        DataU hasn't arrived yet, remember to drop it on arrival."""
+        hit = self._resolve(sid)
+        if hit is None or idx is None:
+            return
+        stream, role = hit
+        if role == "follower":
+            follower = stream.followers[sid]
+            follower.consumed = max(follower.consumed, idx + 1)
+        elif role == "leader":
+            stream.consumed_leader = max(stream.consumed_leader, idx + 1)
+            if idx not in stream.ready and idx >= stream.freed_through:
+                stream.served_by_cache.add(idx)
+        else:
+            return
+        self._release(stream)
+
+    def _stream_inv(self, body: StreamInv) -> None:
+        """Stream-grain coherence: a remote write hit this stream's
+        fetched range — its buffered data is stale, re-execute."""
+        self.stats.add("se_l2.stream_invs")
+        stream = self.streams.get(body.sid)
+        if self.se_core is not None:
+            self.se_core.history.record_alias(body.sid)
+            core_stream = self.se_core.streams.get(body.sid)
+            if core_stream is not None:
+                self.se_core._sink(core_stream)
+        elif stream is not None:
+            # No SE_core attached (test rigs): drop the stream state.
+            self.end_stream(body.sid)
+
+    # ------------------------------------------------------------------
+    # aliasing (SS IV-E second window)
+    # ------------------------------------------------------------------
+    def on_dirty_evict(self, addr: int) -> None:
+        """A dirty line left the L2: if it overlaps a buffered stream
+        element, mark the stream aliased and have the SE_core sink it."""
+        base = line_addr(addr)
+        for stream in list(self.streams.values()):
+            pat = stream.spec.pattern
+            window = list(stream.ready) + list(stream.waiters)
+            for idx in window:
+                if line_addr(pat.address(idx)) == base:
+                    self.stats.add("se_l2.alias_sinks")
+                    if self.se_core is not None:
+                        self.se_core.history.record_alias(stream.sid)
+                        core_stream = self.se_core.streams.get(stream.sid)
+                        if core_stream is not None:
+                            self.se_core._sink(core_stream)
+                    return

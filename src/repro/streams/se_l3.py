@@ -1,0 +1,530 @@
+"""L3-bank-side stream engine (SE_L3, Figure 10).
+
+Each L3 bank hosts an SE_L3 with the units the paper describes:
+
+- **configure unit**: accepts FloatConfig/Migrate packets and sets up
+  stream state;
+- **issue unit**: round-robin over ready streams, generating GetU
+  requests to the colocated bank on behalf of the requesting tile;
+- **migrate unit**: when the next element maps to another bank,
+  hands the stream off with its current iteration and remaining
+  credits;
+- **merge unit** (stream confluence, SS IV-C): affine streams from
+  different cores in the same 2x2 tile block with identical
+  parameters form a confluence group of up to 4; the issue unit
+  services the group's common element once and multicasts the
+  response, delaying members that are ahead so laggards catch up;
+- **translate unit**: a local TLB queried once per page for affine
+  streams and once per element for indirect streams;
+- **operands table** (indirect floating, SS IV-B): when an affine
+  parent element's data is ready, chained indirect addresses are
+  computed here and fetched at their home bank — only the requested
+  subline returns to the core.
+
+Credits and End packets for streams that have migrated away are
+forwarded along the recorded migration path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.addr import LINE_SIZE, NucaMap, line_addr, page_index
+from repro.mem.coherence import CohMsg
+from repro.mem.l3 import L3Bank
+from repro.mem.tlb import Tlb
+from repro.noc.message import CTRL, DATA, STREAM, Packet, data_payload_bits
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.streams.isa import StreamSpec
+from repro.streams.messages import (
+    Credit,
+    EndAck,
+    EndStream,
+    FloatConfig,
+    IndFetch,
+    Migrate,
+    StreamInv,
+)
+
+StreamKey = Tuple[int, int]  # (requester tile, sid)
+
+
+@dataclass
+class L3Stream:
+    """One floated stream resident at this bank."""
+
+    spec: StreamSpec
+    children: List[StreamSpec]
+    requester: int
+    next_idx: int
+    credits: int
+    group: Optional["ConfluenceGroup"] = None
+
+    @property
+    def key(self) -> StreamKey:
+        return (self.requester, self.spec.sid)
+
+    @property
+    def done(self) -> bool:
+        return self.next_idx >= self.spec.length
+
+    @property
+    def issuable(self) -> bool:
+        return not self.done and self.credits > 0
+
+
+@dataclass
+class ConfluenceGroup:
+    """Up to 4 same-pattern streams from one 2x2 tile block."""
+
+    members: List[L3Stream] = field(default_factory=list)
+
+    def remove(self, stream: L3Stream) -> None:
+        if stream in self.members:
+            self.members.remove(stream)
+        stream.group = None
+
+    def frontier(self) -> Optional[int]:
+        """The minimum next element over issuable members — the index
+        the group services next (delaying members that are ahead)."""
+        idxs = [m.next_idx for m in self.members if m.issuable]
+        return min(idxs) if idxs else None
+
+
+class SEL3:
+    """Stream engine at an L3 bank."""
+
+    MAX_GROUP = 4
+    BLOCK = 2  # confluence restricted to 2x2 tile blocks
+    PUMP_BATCH = 4  # elements issued per pump activation
+    PUMP_INTERVAL = 4  # cycles between activations (1 element/cycle avg)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        stats: Stats,
+        tile: int,
+        bank: L3Bank,
+        nuca: NucaMap,
+        mesh: Mesh,
+        max_streams: int = 768,
+        confluence_enabled: bool = True,
+        indirect_enabled: bool = True,
+        stream_grain_coherence: bool = False,
+        tlb: Optional[Tlb] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.stats = stats
+        self.tile = tile
+        self.bank = bank
+        self.nuca = nuca
+        self.mesh = mesh
+        self.max_streams = max_streams
+        self.confluence_enabled = confluence_enabled
+        self.indirect_enabled = indirect_enabled
+        self.stream_grain_coherence = stream_grain_coherence
+        # SS V-B: base/bound registers of ranges each resident stream
+        # has fetched (conservative: false positives invalidate).
+        self.ranges: Dict[StreamKey, Tuple[int, int]] = {}
+        self.tlb = tlb or Tlb(entries=1024, hit_latency=2)
+        self.streams: Dict[StreamKey, L3Stream] = {}
+        self.groups: List[ConfluenceGroup] = []
+        # Streams that migrated away: key -> next bank (for forwarding
+        # late credits / end packets).
+        self.forwarding: Dict[StreamKey, int] = {}
+        # Credits that raced ahead of their stream's migration here.
+        self.pending_credits: Dict[StreamKey, int] = {}
+        self._rr: List[StreamKey] = []  # round-robin order
+        self._pump_armed = False
+        bank.se_l3 = self
+        net.register(tile, "se_l3", self.handle)
+
+    # ------------------------------------------------------------------
+    # network ingress
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet) -> None:
+        body = pkt.body
+        if isinstance(body, FloatConfig):
+            self._configure(body.spec, body.children, body.requester,
+                            body.start_idx, body.credits)
+        elif isinstance(body, Migrate):
+            self.stats.add("se_l3.migrations_in")
+            self._configure(body.spec, body.children, body.requester,
+                            body.next_idx, body.credits)
+        elif isinstance(body, Credit):
+            self._credit(body)
+        elif isinstance(body, EndStream):
+            self._end(body)
+        elif isinstance(body, IndFetch):
+            self._indirect_fetch(body)
+        else:
+            raise ValueError(f"SE_L3 got unexpected body {type(body)!r}")
+
+    # ------------------------------------------------------------------
+    # configure / merge units
+    # ------------------------------------------------------------------
+    def _configure(
+        self,
+        spec: StreamSpec,
+        children: List[StreamSpec],
+        requester: int,
+        start_idx: int,
+        credits: int,
+    ) -> None:
+        if len(self.streams) >= self.max_streams:
+            self.stats.add("se_l3.config_rejected")
+            return
+        stream = L3Stream(
+            spec=spec, children=list(children), requester=requester,
+            next_idx=start_idx, credits=credits,
+        )
+        key = stream.key
+        self.streams[key] = stream
+        self.forwarding.pop(key, None)
+        stream.credits += self.pending_credits.pop(key, 0)
+        self._rr.append(key)
+        self.stats.add("se_l3.streams_configured")
+        if self.confluence_enabled and not spec.is_indirect:
+            self._try_merge(stream)
+        self._arm_pump()
+
+    def _try_merge(self, stream: L3Stream) -> None:
+        """Merge unit: one parameter comparison per existing stream
+        (the paper does one per cycle; the cost is negligible here)."""
+        my_block = self.mesh.block_of(stream.requester, self.BLOCK)
+        for other in self.streams.values():
+            if other is stream or other.spec.is_indirect:
+                continue
+            if other.requester == stream.requester:
+                continue
+            if self.mesh.block_of(other.requester, self.BLOCK) != my_block:
+                continue
+            if not stream.spec.pattern.same_shape(other.spec.pattern):
+                continue
+            group = other.group
+            if group is None:
+                group = ConfluenceGroup(members=[other])
+                other.group = group
+                self.groups.append(group)
+            if len(group.members) >= self.MAX_GROUP:
+                continue
+            group.members.append(stream)
+            stream.group = group
+            self.stats.add("se_l3.confluences")
+            return
+
+    # ------------------------------------------------------------------
+    # issue unit
+    # ------------------------------------------------------------------
+    def _arm_pump(self) -> None:
+        if not self._pump_armed:
+            self._pump_armed = True
+            self.sim.schedule(1, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_armed = False
+        issued = 0
+        scanned = 0
+        while issued < self.PUMP_BATCH and scanned < len(self._rr):
+            if not self._rr:
+                break
+            key = self._rr.pop(0)
+            stream = self.streams.get(key)
+            if stream is None:
+                continue  # ended/migrated; drop from rotation
+            self._rr.append(key)
+            scanned += 1
+            if self._issue_one(stream):
+                issued += 1
+                scanned = 0  # progress resets the idle scan
+        if any(
+            self.streams.get(k) is not None
+            and self._actionable(self.streams[k])
+            for k in self._rr
+        ):
+            self._pump_armed = True
+            self.sim.schedule(self.PUMP_INTERVAL, self._pump)
+
+    def _actionable(self, stream: L3Stream) -> bool:
+        """Does the issue unit have anything to do for this stream?"""
+        if stream.done:
+            return True  # silent completion cleanup
+        next_addr = stream.spec.pattern.address(stream.next_idx)
+        if self.nuca.bank_of(next_addr) != self.tile:
+            return True  # must migrate (with or without credits)
+        return stream.issuable and self._group_ready(stream)
+
+    def _group_ready(self, stream: L3Stream) -> bool:
+        """Confluence delay: members ahead of the group's frontier
+        wait for laggards (SS IV-C)."""
+        if stream.group is None:
+            return True
+        frontier = stream.group.frontier()
+        return frontier is not None and stream.next_idx == frontier
+
+    def _issue_one(self, stream: L3Stream) -> bool:
+        if stream.done:
+            # Known-length streams terminate silently (SS IV-A).
+            self._drop(stream)
+            self.stats.add("se_l3.completed")
+            return False
+        idx = stream.next_idx
+        addr = stream.spec.pattern.address(idx)
+        if self.nuca.bank_of(addr) != self.tile:
+            # Migrate even when out of credits — the credits will be
+            # routed to (or are already waiting at) the next bank.
+            self._migrate(stream, addr)
+            return False
+        if not stream.issuable or not self._group_ready(stream):
+            return False
+        # Translate unit: affine streams only touch the TLB at page
+        # boundaries (SS IV-E).
+        if idx == 0 or page_index(addr) != page_index(
+            stream.spec.pattern.address(idx - 1)
+        ):
+            self.tlb.translate(addr)
+            self.stats.add("se_l3.tlb_lookups")
+        participants = [stream]
+        if stream.group is not None:
+            participants = [
+                m for m in stream.group.members
+                if m.issuable and m.next_idx == idx
+            ]
+            if stream not in participants:
+                participants.append(stream)
+        category = "float_conf" if len(participants) > 1 else "float_affine"
+        # Coalesce consecutive same-line elements (subline affine
+        # streams, e.g. a 4-byte index stream): one GetU and one DataU
+        # serve the whole line's worth of elements.
+        line = line_addr(addr)
+        max_batch = min(m.credits for m in participants)
+        count = 1
+        pattern = stream.spec.pattern
+        while (
+            count < max_batch
+            and idx + count < stream.spec.length
+            and line_addr(pattern.address(idx + count)) == line
+        ):
+            count += 1
+        for member in participants:
+            member.next_idx += count
+            member.credits -= count
+        self.stats.add("se_l3.elements_issued", len(participants) * count)
+        if self.stream_grain_coherence:
+            span = pattern.elem_size * count
+            for member in participants:
+                self._track_range(member.key, addr, span)
+        element = idx if count == 1 else (idx, idx + count)
+        self.bank.stream_read(
+            addr,
+            requester=stream.requester,
+            data_bytes=LINE_SIZE,
+            stream_id=stream.spec.sid,
+            element=element,
+            category=category,
+            on_ready=lambda msg, p=participants, e=element: self._data_ready(p, e, msg),
+        )
+        return True
+
+    def _data_ready(self, participants: List[L3Stream], element, msg: CohMsg) -> None:
+        """GetU data is at the bank: respond (possibly multicast) and
+        chain any indirect children. ``element`` is an index or a
+        coalesced ``(start, end)`` range."""
+        members = [(m.requester, m.spec.sid) for m in participants]
+        if isinstance(element, tuple):
+            elems = range(element[0], element[1])
+        else:
+            elems = (element,)
+        if len(members) > 1:
+            body = CohMsg(
+                op="DataU", addr=line_addr(msg.addr), requester=members[0][0],
+                data_bytes=LINE_SIZE, stream_id=members[0][1], element=element,
+                se_info=members,
+            )
+            self.net.multicast(
+                src=self.tile, dsts=[tile for tile, _ in members],
+                kind=DATA, payload_bits=data_payload_bits(LINE_SIZE),
+                dst_port="se_l2", body=body,
+            )
+            self.stats.add("se_l3.multicasts")
+        else:
+            requester, sid = members[0]
+            self.bank.send_data_u(requester, CohMsg(
+                op="GetU", addr=msg.addr, requester=requester,
+                data_bytes=LINE_SIZE, stream_id=sid, element=element,
+            ))
+        if self.indirect_enabled:
+            for member in participants:
+                for child in member.children:
+                    for idx in elems:
+                        self._chain_indirect(member, child, idx)
+
+    # ------------------------------------------------------------------
+    # indirect floating (operands table)
+    # ------------------------------------------------------------------
+    def _chain_indirect(self, stream: L3Stream, child: StreamSpec, idx: int) -> None:
+        if idx >= child.length:
+            return
+        addr = child.pattern.address(idx)
+        data_bytes = child.pattern.elem_size
+        # Indirect accesses translate per element (SS IV-E).
+        self.tlb.translate(addr)
+        self.stats.add("se_l3.tlb_lookups")
+        target = self.nuca.bank_of(addr)
+        if target == self.tile:
+            self._local_indirect(stream.requester, child.sid, idx, addr, data_bytes)
+        else:
+            body = IndFetch(
+                requester=stream.requester, sid=child.sid, element=idx,
+                addr=addr, data_bytes=data_bytes,
+            )
+            self.stats.add("se_l3.indirect_forwards")
+            self.net.send(Packet(
+                src=self.tile, dst=target, kind=CTRL,
+                payload_bits=body.bits(), dst_port="se_l3", body=body,
+            ))
+
+    def _local_indirect(
+        self, requester: int, sid: int, idx: int, addr: int, data_bytes: int,
+    ) -> None:
+        self.bank.stream_read(
+            addr, requester=requester, data_bytes=data_bytes,
+            stream_id=sid, element=idx, category="float_ind",
+            on_ready=lambda msg: self.bank.send_data_u(requester, msg),
+        )
+
+    def _indirect_fetch(self, body: IndFetch) -> None:
+        self._local_indirect(
+            body.requester, body.sid, body.element, body.addr, body.data_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # migrate unit
+    # ------------------------------------------------------------------
+    def _migrate(self, stream: L3Stream, next_addr: int) -> None:
+        target = self.nuca.bank_of(next_addr)
+        self._drop(stream)
+        self.forwarding[stream.key] = target
+        body = Migrate(
+            spec=stream.spec, children=stream.children,
+            next_idx=stream.next_idx, credits=stream.credits,
+            requester=stream.requester,
+        )
+        self.stats.add("se_l3.migrations_out")
+        self.net.send(Packet(
+            src=self.tile, dst=target, kind=STREAM,
+            payload_bits=body.bits(), dst_port="se_l3", body=body,
+        ))
+
+    def _drop(self, stream: L3Stream) -> None:
+        self.streams.pop(stream.key, None)
+        if stream.group is not None:
+            group = stream.group
+            group.remove(stream)
+            if len(group.members) <= 1:
+                for member in group.members:
+                    member.group = None
+                if group in self.groups:
+                    self.groups.remove(group)
+
+    # ------------------------------------------------------------------
+    # flow unit / termination
+    # ------------------------------------------------------------------
+    def _credit(self, body: Credit) -> None:
+        key = (body.requester, body.sid)
+        stream = self.streams.get(key)
+        if stream is not None:
+            stream.credits += body.count
+            self.stats.add("se_l3.credits_received")
+            self._arm_pump()
+            return
+        target = self.forwarding.get(key)
+        if target is not None:
+            self.net.send(Packet(
+                src=self.tile, dst=target, kind=STREAM,
+                payload_bits=body.bits(), dst_port="se_l3", body=body,
+            ))
+        else:
+            # The credit raced ahead of the stream's migration to this
+            # bank: hold it until the stream arrives.
+            self.pending_credits[key] = (
+                self.pending_credits.get(key, 0) + body.count
+            )
+            self.stats.add("se_l3.credits_held")
+
+    def _end(self, body: EndStream) -> None:
+        key = (body.requester, body.sid)
+        self.pending_credits.pop(key, None)
+        self.ranges.pop(key, None)
+        stream = self.streams.get(key)
+        if stream is not None:
+            self._drop(stream)
+            self.stats.add("se_l3.ends")
+            ack = EndAck(sid=body.sid)
+            self.net.send(Packet(
+                src=self.tile, dst=body.requester, kind=STREAM,
+                payload_bits=ack.bits(), dst_port="se_l2", body=ack,
+            ))
+            return
+        target = self.forwarding.get(key)
+        if target is not None:
+            self.net.send(Packet(
+                src=self.tile, dst=target, kind=STREAM,
+                payload_bits=body.bits(), dst_port="se_l3", body=body,
+            ))
+        else:
+            # Unknown (already finished): ack so the SE_L2 moves on.
+            ack = EndAck(sid=body.sid)
+            self.net.send(Packet(
+                src=self.tile, dst=body.requester, kind=STREAM,
+                payload_bits=ack.bits(), dst_port="se_l2", body=ack,
+            ))
+
+    # ------------------------------------------------------------------
+    # stream-grain coherence (SS V-B, optional mode)
+    # ------------------------------------------------------------------
+    def _track_range(self, key: StreamKey, addr: int, span: int) -> None:
+        """Extend the base/bound registers of a stream's fetched range."""
+        lo, hi = self.ranges.get(key, (addr, addr + span))
+        self.ranges[key] = (min(lo, addr), max(hi, addr + span))
+
+    def check_write(self, addr: int, writer: int) -> None:
+        """Directory hook: a write-ownership request for ``addr`` at
+        this bank conservatively invalidates any stream whose fetched
+        range covers it (false positives allowed — SS V-B), telling
+        the requesting core to re-execute (sink) the stream."""
+        if not self.stream_grain_coherence:
+            return
+        for key, (lo, hi) in list(self.ranges.items()):
+            if not (lo <= addr < hi):
+                continue
+            requester, sid = key
+            if requester == writer:
+                continue
+            self.stats.add("se_l3.stream_invalidations")
+            stream = self.streams.get(key)
+            if stream is not None:
+                self._drop(stream)
+            self.ranges.pop(key, None)
+            body = StreamInv(sid=sid, addr=addr)
+            self.net.send(Packet(
+                src=self.tile, dst=requester, kind=CTRL,
+                payload_bits=body.bits(), dst_port="se_l2", body=body,
+            ))
+
+    def dealloc_range(self, key: StreamKey) -> None:
+        """Stream committed its stream_end: forget its range data."""
+        self.ranges.pop(key, None)
+
+    def flush_floating(self) -> None:
+        """Context switch (SS IV-E): discard all floating streams."""
+        for stream in list(self.streams.values()):
+            self._drop(stream)
+        self.forwarding.clear()
+        self.ranges.clear()

@@ -1,0 +1,122 @@
+"""One tile: core + L1 + private L2 + L3 bank slice + stream engines.
+
+The tile wires every cross-component hook: prefetchers into the L1/L2,
+the SE_L2 into the L2 (floating-request interception, dirty-eviction
+alias checks), the SE_L3 into the L3 bank (GetU issue), and the stream
+reuse notifications back into the SE_core history table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.addr import NucaMap
+from repro.mem.dram import DramSystem
+from repro.mem.l1 import L1Cache
+from repro.mem.l2 import L2Cache
+from repro.mem.l3 import L3Bank
+from repro.mem.tlb import Tlb
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.bulk import BulkGrouper
+from repro.prefetch.stride import StridePrefetcher
+from repro.cpu.core import Core
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.streams.se_core import SECore
+from repro.streams.se_l2 import SEL2
+from repro.streams.se_l3 import SEL3
+from repro.system.params import SystemParams
+
+
+class Tile:
+    """Everything at one mesh coordinate."""
+
+    def __init__(
+        self,
+        tile_id: int,
+        params: SystemParams,
+        sim: Simulator,
+        net: Network,
+        stats: Stats,
+        nuca: NucaMap,
+        mesh: Mesh,
+        dram: DramSystem,
+    ) -> None:
+        self.tile_id = tile_id
+        self.params = params
+
+        self.l3 = L3Bank(
+            sim, net, stats, tile_id,
+            size_bytes=params.l3_bank_size, ways=params.l3_ways,
+            latency=params.l3_latency, mshrs=params.l3_mshrs,
+            replacement=params.replacement, dram=dram, nuca=nuca,
+        )
+        self.l2 = L2Cache(
+            sim, net, stats, tile_id,
+            size_bytes=params.l2_size, ways=params.l2_ways,
+            latency=params.l2_latency, mshrs=params.l2_mshrs,
+            replacement=params.replacement, nuca=nuca,
+        )
+        self.l1 = L1Cache(
+            sim, stats, tile_id, self.l2,
+            size_bytes=params.l1_size, ways=params.l1_ways,
+            latency=params.l1_latency, mshrs=params.l1_mshrs,
+        )
+
+        # --- prefetchers -------------------------------------------------
+        if params.l1_prefetcher == "stride":
+            self.l1.prefetcher = StridePrefetcher(
+                streams=params.l1_pf_streams, degree=params.l1_pf_degree,
+            )
+        elif params.l1_prefetcher == "bingo":
+            self.l1.prefetcher = BingoPrefetcher()
+        elif params.l1_prefetcher is not None:
+            raise ValueError(f"unknown L1 prefetcher {params.l1_prefetcher!r}")
+        if params.l2_prefetcher == "stride":
+            self.l2.prefetcher = StridePrefetcher(
+                streams=params.l2_pf_streams, degree=params.l2_pf_degree,
+            )
+        elif params.l2_prefetcher is not None:
+            raise ValueError(f"unknown L2 prefetcher {params.l2_prefetcher!r}")
+        if params.bulk_prefetch:
+            if params.l3_interleave <= 64:
+                raise ValueError(
+                    "bulk prefetch requires >64B L3 interleaving (SS VI)"
+                )
+            self.l2.bulk = BulkGrouper(sim, net, stats, tile_id)
+
+        # --- stream engines ----------------------------------------------
+        self.se_l2: Optional[SEL2] = None
+        self.se_l3: Optional[SEL3] = None
+        self.se_core: Optional[SECore] = None
+        if params.floating_enabled:
+            l2_tlb = Tlb(entries=2048, hit_latency=8)
+            self.se_l2 = SEL2(
+                sim, net, stats, tile_id, self.l2, nuca,
+                buffer_bytes=params.se_l2_buffer_bytes, tlb=l2_tlb,
+                stream_grain_coherence=params.stream_grain_coherence,
+            )
+            self.se_l3 = SEL3(
+                sim, net, stats, tile_id, self.l3, nuca, mesh,
+                max_streams=params.se_l3_max_streams,
+                confluence_enabled=params.confluence_enabled,
+                indirect_enabled=params.indirect_float_enabled,
+                stream_grain_coherence=params.stream_grain_coherence,
+                tlb=Tlb(entries=1024, hit_latency=2),
+            )
+        if params.streams_enabled or params.floating_enabled:
+            self.se_core = SECore(
+                sim, stats, tile_id, self.l1, se_l2=self.se_l2,
+                fifo_bytes=params.core.se_fifo_bytes,
+                max_streams=params.se_max_streams_per_core,
+                l2_capacity=params.l2_size,
+                float_enabled=params.floating_enabled,
+                indirect_float_enabled=params.indirect_float_enabled,
+            )
+            self.l2.on_stream_reuse = self.se_core.on_stream_reuse
+
+        self.core = Core(
+            sim, stats, tile_id, self.l1, params.core, se_core=self.se_core,
+        )

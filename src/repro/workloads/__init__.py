@@ -1,0 +1,48 @@
+"""The paper's 12 benchmarks (Table IV) as stream programs."""
+
+from repro.workloads.base import (
+    Layout,
+    Workload,
+    WorkloadMeta,
+    build_programs,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.kernel import (
+    CoreProgram,
+    Iteration,
+    KernelPhase,
+    chunk_range,
+)
+
+# Importing the modules registers the workloads.
+from repro.workloads import (  # noqa: F401
+    bfs,
+    btree,
+    cfd,
+    conv3d,
+    hotspot,
+    hotspot3d,
+    mv,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+)
+
+ALL_WORKLOADS = workload_names()
+
+__all__ = [
+    "Workload",
+    "WorkloadMeta",
+    "Layout",
+    "build_programs",
+    "get_workload",
+    "workload_names",
+    "ALL_WORKLOADS",
+    "CoreProgram",
+    "KernelPhase",
+    "Iteration",
+    "chunk_range",
+]

@@ -1,0 +1,77 @@
+"""Tiled 3-D convolution (Table IV: H/W 256x256, I/O 16x64, K 3x3).
+
+Output channels are partitioned across cores, so *every* core streams
+the *same* input feature map with the same affine pattern — the
+paper's flagship stream-confluence case (Figure 14: the shared input
+constitutes 51% of conv3d's requests, multicast by the SE_L3).
+
+Weights are tiny and stay cached; each core stores its own output
+channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase
+
+
+@register
+class Conv3D(Workload):
+    META = WorkloadMeta(
+        name="conv3d",
+        table_iv="H/W: 256x256, I/O: 16x64, K: 3x3",
+        has_confluence=True,
+    )
+
+    def _dims(self):
+        # Input feature map H x W x I (f32), z/channel folded inward so
+        # a line holds contiguous input values.
+        hw = max(32, 512 // self.scale)
+        in_ch = 4
+        return hw, in_ch
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        hw, in_ch = self._dims()
+        input_bytes = hw * hw * in_ch * 4
+        input_lines = input_bytes // 64
+        in_base = self.layout.alloc("input", input_bytes)
+        w_base = self.layout.alloc("weights", 9 * in_ch * self.num_cores * 4)
+        out_bytes = hw * hw * 4
+        out_bases = [
+            self.layout.alloc(f"out{c}", out_bytes) for c in range(self.num_cores)
+        ]
+        out_lines = out_bytes // 64
+
+        programs = {}
+        for core in range(self.num_cores):
+            # Identical input pattern on every core -> confluence.
+            in_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                base=in_base, strides=(64,), lengths=(input_lines,),
+                elem_size=64,
+            ))
+            out_spec = StreamSpec(sid=1, kind="store", pattern=AffinePattern(
+                base=out_bases[core], strides=(64,), lengths=(out_lines,),
+                elem_size=64,
+            ))
+
+            def iterations(core=core):
+                store_every = max(1, input_lines // out_lines)
+                for line in range(input_lines):
+                    ops = [("sload", 0)]
+                    if line % store_every == store_every - 1:
+                        ops.append(("sstore", 1))
+                    if line % 64 == 0:
+                        # Refresh a couple of weight lines (they hit).
+                        ops.append(("load", w_base + (line // 64) % 9 * 64, 50))
+                    # K*K MACs per input element across the line.
+                    yield Iteration(compute_ops=24, ops=tuple(ops))
+
+            programs[core] = CoreProgram(phases=[KernelPhase(
+                name="conv", stream_specs=[in_spec, out_spec],
+                iterations=iterations,
+            )])
+        return programs

@@ -1,0 +1,35 @@
+"""Hotspot (Table IV: 1024x1024, 8 iterations).
+
+Thermal simulation: a 5-point stencil over the temperature grid plus
+a streaming read of the power grid, ping-ponging between buffers with
+a barrier per time step. The east/west neighbours share the centre
+row's cache lines; north/south rows arrive through the SE_L2's
+constant-offset follower mechanism when floated.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadMeta, register
+from repro.workloads.stencil import StencilWorkload
+
+
+@register
+class Hotspot(StencilWorkload):
+    META = WorkloadMeta(
+        name="hotspot",
+        table_iv="1024x1024, 8 iters",
+        stencil=True,
+    )
+
+    COMPUTE_OPS = 10
+
+    def _dims(self):
+        # Full size: 1024 rows of 4 kB (1024 f32); capacity scaling
+        # shrinks both dimensions and the step count together so the
+        # follower offsets (one row) stay within the scaled SE_L2
+        # buffer share, as 4 kB rows do against the 16 kB buffer.
+        shrink = max(1, self.scale // 4)
+        rows = max(self.num_cores * 4, 1024 // shrink)
+        row_bytes = max(256, 4096 // shrink)
+        steps = max(2, 8 // min(self.scale, 4))
+        return rows, row_bytes, steps

@@ -1,0 +1,34 @@
+"""Hotspot3D (Table IV: 512x512x8, 8 iterations).
+
+The 3-D variant keeps the thin z dimension (8 levels) innermost in
+the layout, so the z+/-1 neighbours of a point sit on the same cache
+line as the point itself and the x+/-1 neighbours on the same or the
+adjacent line of the same row stream — both are covered by the centre
+stream's data. Only the y+/-1 neighbours need the shifted north/south
+streams, making the kernel a row stencil like hotspot with heavier
+per-line compute (7-point stencil across the in-line z levels).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadMeta, register
+from repro.workloads.stencil import StencilWorkload
+
+
+@register
+class Hotspot3D(StencilWorkload):
+    META = WorkloadMeta(
+        name="hotspot3D",
+        table_iv="512x512x8, 8 iters",
+        stencil=True,
+    )
+
+    COMPUTE_OPS = 16  # 7-point stencil over the folded z levels
+
+    def _dims(self):
+        # Full size: 512 y-rows of 512 x 8 x 4 B = 16 kB; scaled runs
+        # shrink rows and row bytes together.
+        rows = max(self.num_cores * 4, 512 // max(1, self.scale // 8))
+        row_bytes = max(256, 16384 // self.scale)
+        steps = max(2, 8 // min(self.scale, 4))
+        return rows, row_bytes, steps

@@ -1,0 +1,76 @@
+"""Kernel representation: the stream programs cores execute.
+
+A workload compiles (by hand, standing in for the paper's LLVM pass)
+into one :class:`CoreProgram` per core: a list of :class:`KernelPhase`
+objects separated by barriers (OpenMP parallel-for regions). Each
+phase declares the streams its loop uses (``stream_cfg``) and yields
+:class:`Iteration` records:
+
+- ``compute_ops``: arithmetic ops in the iteration (issue-width
+  divided by the core model);
+- ``ops``: memory operations, as tuples:
+
+  - ``("sload", sid)`` — consume + advance a load stream,
+  - ``("sstore", sid)`` — store through a store stream,
+  - ``("load", addr, op_id)`` — plain load (op_id ~ PC, trains
+    prefetchers),
+  - ``("store", addr, op_id)`` — plain store.
+
+On systems without the decoupled-stream ISA (Base and the prefetcher
+baselines), the core lowers ``sload``/``sstore`` to plain loads/stores
+of the pattern's addresses with ``op_id = sid`` — the same binary-
+compatible degradation the paper's compiler provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.streams.isa import StreamSpec
+
+Op = Tuple  # ("sload", sid) | ("sstore", sid) | ("load", a, pc) | ("store", a, pc)
+
+
+@dataclass
+class Iteration:
+    """One loop iteration's work."""
+
+    compute_ops: int
+    ops: Sequence[Op]
+
+
+@dataclass
+class KernelPhase:
+    """A parallel region between barriers.
+
+    ``iterations`` is a zero-argument factory returning a fresh
+    iterator, so programs can be re-run and inspected.
+    """
+
+    name: str
+    stream_specs: List[StreamSpec] = field(default_factory=list)
+    iterations: Callable[[], Iterator[Iteration]] = lambda: iter(())
+
+
+@dataclass
+class CoreProgram:
+    """Everything one core executes: phases separated by barriers."""
+
+    phases: List[KernelPhase] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+
+def chunk_range(total: int, workers: int, worker: int) -> range:
+    """OpenMP static schedule: contiguous chunk of [0, total) for
+    ``worker`` of ``workers``."""
+    base = total // workers
+    extra = total % workers
+    start = worker * base + min(worker, extra)
+    size = base + (1 if worker < extra else 0)
+    return range(start, start + size)

@@ -1,0 +1,75 @@
+"""Matrix-vector multiplication (Table IV: matrix 256 x 65536).
+
+``y[i] = sum_j M[i][j] * x[j]``, rows partitioned across cores
+(OpenMP static). The matrix stream is enormous and never reused — the
+canonical affine-floating candidate, and at full size it streams from
+DRAM, which is why the paper calls mv out as memory-bandwidth-bound
+(Figure 18's mv-4x8 note). The x vector is re-walked per row and fits
+in the private L2, so the float policy correctly keeps it cached (it
+shows reuse in the history table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase, chunk_range
+
+
+@register
+class MatrixVector(Workload):
+    META = WorkloadMeta(
+        name="mv",
+        table_iv="matrix 256 x 65536",
+    )
+
+    def _dims(self):
+        # Full size: 256 x 65536 f32. Scaled so the matrix is ~half
+        # the (scaled) L3 and x just fits the private L2.
+        rows = max(2 * self.num_cores, 256 // max(1, self.scale // 2))
+        cols = max(512, 32768 // self.scale)
+        return rows, cols
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        rows, cols = self._dims()
+        row_bytes = cols * 4
+        row_lines = row_bytes // 64
+        m_base = self.layout.alloc("M", rows * row_bytes)
+        x_base = self.layout.alloc("x", row_bytes)
+        y_base = self.layout.alloc("y", rows * 8)
+
+        programs = {}
+        for core in range(self.num_cores):
+            my_rows = chunk_range(rows, self.num_cores, core)
+            n_rows = max(1, len(my_rows))
+            # One 2-level stream walks all of the core's matrix rows.
+            m_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                base=m_base + my_rows.start * row_bytes,
+                strides=(64, row_bytes), lengths=(row_lines, n_rows),
+                elem_size=64,
+            ))
+            # x is re-walked once per row (outer stride 0).
+            x_spec = StreamSpec(sid=1, pattern=AffinePattern(
+                base=x_base, strides=(64, 0), lengths=(row_lines, n_rows),
+                elem_size=64,
+            ))
+
+            def iterations(my_rows=my_rows, row_lines=row_lines):
+                for row in my_rows:
+                    for _line in range(row_lines):
+                        # 16 f32 per line: vector FMA + partial reduce.
+                        yield Iteration(compute_ops=6, ops=(
+                            ("sload", 0), ("sload", 1),
+                        ))
+                    yield Iteration(compute_ops=8, ops=(
+                        ("store", y_base + row * 8, 100),
+                    ))
+
+            programs[core] = CoreProgram(phases=[KernelPhase(
+                name="mv", stream_specs=[m_spec, x_spec],
+                iterations=iterations,
+            )])
+        return programs

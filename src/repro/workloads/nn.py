@@ -1,0 +1,54 @@
+"""Nearest neighbor (Table IV: 768k entries).
+
+Each core streams its chunk of the record array once, computing a
+distance per record and keeping a small top-k — a pure streaming scan
+whose working set exceeds the on-chip caches, so it is bound by
+memory bandwidth (the paper's Figure 16 note: wider links don't help
+nn once DRAM is the bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase, chunk_range
+
+
+@register
+class NearestNeighbor(Workload):
+    META = WorkloadMeta(
+        name="nn",
+        table_iv="768k entries",
+    )
+
+    RECORD_BYTES = 32  # lat/long + payload per record
+
+    def _records(self) -> int:
+        return max(4096, (768 * 1024) // self.scale)
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        records = self._records()
+        total_bytes = records * self.RECORD_BYTES
+        rec_base = self.layout.alloc("records", total_bytes)
+        total_lines = total_bytes // 64
+
+        programs = {}
+        for core in range(self.num_cores):
+            my_lines = chunk_range(total_lines, self.num_cores, core)
+            spec = StreamSpec(sid=0, pattern=AffinePattern(
+                base=rec_base + my_lines.start * 64,
+                strides=(64,), lengths=(max(1, len(my_lines)),), elem_size=64,
+            ))
+
+            def iterations(n=len(my_lines)):
+                for _ in range(n):
+                    # 2 records per line: distance + top-k compare.
+                    yield Iteration(compute_ops=8, ops=(("sload", 0),))
+
+            programs[core] = CoreProgram(phases=[KernelPhase(
+                name="scan", stream_specs=[spec], iterations=iterations,
+            )])
+        return programs

@@ -1,0 +1,117 @@
+"""Particle filter (Table IV: 48k particles, 1000x1000).
+
+Three phases per frame:
+
+1. **weigh** — each core streams its own particle chunk and computes
+   likelihood weights (embarrassingly parallel, private streams);
+2. **scan** — core 0 computes the cumulative weight array (the serial
+   section of the real benchmark);
+3. **resample** — *every* core streams the *entire* cumulative weight
+   array with an identical pattern to draw its new particles: the
+   paper's second stream-confluence showcase (Figure 15 calls out
+   resampling through the shared accumulated-weight array).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase, chunk_range
+
+
+@register
+class ParticleFilter(Workload):
+    META = WorkloadMeta(
+        name="particlefilter",
+        table_iv="48k particles, 1000x1000",
+        has_confluence=True,
+    )
+
+    PARTICLE_BYTES = 16  # x, y, weight, payload
+
+    def _particles(self) -> int:
+        return max(8192, 48 * 1024 * 4 // self.scale)
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        particles = self._particles()
+        part_base = self.layout.alloc("particles", particles * self.PARTICLE_BYTES)
+        w_base = self.layout.alloc("weights", particles * 8)
+        cumw_base = self.layout.alloc("cumweights", particles * 8)
+        newidx_base = self.layout.alloc("newidx", particles * 4)
+        part_lines = particles * self.PARTICLE_BYTES // 64
+        w_lines = particles * 8 // 64
+
+        programs = {}
+        for core in range(self.num_cores):
+            my_part = chunk_range(part_lines, self.num_cores, core)
+            my_w = chunk_range(w_lines, self.num_cores, core)
+
+            # Phase 1: weigh own particles.
+            p_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                base=part_base + my_part.start * 64, strides=(64,),
+                lengths=(max(1, len(my_part)),), elem_size=64,
+            ))
+            wout_spec = StreamSpec(sid=1, kind="store", pattern=AffinePattern(
+                base=w_base + my_w.start * 64, strides=(64,),
+                lengths=(max(1, len(my_w)),), elem_size=64,
+            ))
+
+            def weigh(n=len(my_part)):
+                for i in range(n):
+                    ops = [("sload", 0)]
+                    if i % 2 == 1:
+                        ops.append(("sstore", 1))
+                    yield Iteration(compute_ops=20, ops=tuple(ops))
+
+            # Phase 2: serial prefix sum on core 0.
+            if core == 0:
+                win_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                    base=w_base, strides=(64,), lengths=(w_lines,),
+                    elem_size=64,
+                ))
+                cum_spec = StreamSpec(sid=1, kind="store", pattern=AffinePattern(
+                    base=cumw_base, strides=(64,), lengths=(w_lines,),
+                    elem_size=64,
+                ))
+
+                def scan(n=w_lines):
+                    for _ in range(n):
+                        yield Iteration(compute_ops=8, ops=(
+                            ("sload", 0), ("sstore", 1),
+                        ))
+
+                scan_phase = KernelPhase(
+                    name="scan", stream_specs=[win_spec, cum_spec],
+                    iterations=scan,
+                )
+            else:
+                scan_phase = KernelPhase(name="scan")
+
+            # Phase 3: every core walks the full cumulative array.
+            cumr_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                base=cumw_base, strides=(64,), lengths=(w_lines,),
+                elem_size=64,
+            ))
+
+            def resample(n=w_lines, core=core):
+                for i in range(n):
+                    ops = [("sload", 0)]
+                    if i % 8 == core % 8:
+                        ops.append((
+                            "store",
+                            newidx_base + (core * n + i) % particles * 4,
+                            90,
+                        ))
+                    yield Iteration(compute_ops=4, ops=tuple(ops))
+
+            programs[core] = CoreProgram(phases=[
+                KernelPhase(name="weigh", stream_specs=[p_spec, wout_spec],
+                            iterations=weigh),
+                scan_phase,
+                KernelPhase(name="resample", stream_specs=[cumr_spec],
+                            iterations=resample),
+            ])
+        return programs

@@ -1,0 +1,77 @@
+"""Pathfinder (Table IV: 1.5M entries, 8 iterations).
+
+Dynamic programming over a wide array: each step computes
+``dst[i] = wall[i] + min(src[i-1], src[i], src[i+1])`` with a barrier
+between steps (one kernel phase per step). The +/-1 neighbours live
+on the same cache line as ``src[i]`` almost always, so one affine
+stream per array suffices; src/dst ping-pong between phases, which
+also exercises the stream guarantee that configuration sees all
+earlier stores (SS V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase, chunk_range
+
+
+@register
+class Pathfinder(Workload):
+    META = WorkloadMeta(
+        name="pathfinder",
+        table_iv="1.5m entries, 8 iterations",
+    )
+
+    def _dims(self):
+        # Full size: 1.5M entries, 8 steps (6 MB of wall rows against
+        # the 64 MB L3). Scaled so bufs + walls stay just under the
+        # L3 while each core's row chunk still exceeds the private L2.
+        cols = max(8192, 1_572_864 * 2 // (self.scale * 5))
+        steps = 4 if self.scale > 1 else 8
+        return cols, steps
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        cols, steps = self._dims()
+        row_bytes = cols * 4
+        buf = [self.layout.alloc("buf0", row_bytes),
+               self.layout.alloc("buf1", row_bytes)]
+        wall = [self.layout.alloc(f"wall{s}", row_bytes) for s in range(steps)]
+
+        programs = {}
+        for core in range(self.num_cores):
+            my = chunk_range(cols * 4 // 64, self.num_cores, core)  # lines
+            phases = []
+            for step in range(steps):
+                src = buf[step % 2]
+                dst = buf[(step + 1) % 2]
+                src_spec = StreamSpec(sid=0, pattern=AffinePattern(
+                    base=src + my.start * 64, strides=(64,),
+                    lengths=(max(1, len(my)),), elem_size=64,
+                ))
+                wall_spec = StreamSpec(sid=1, pattern=AffinePattern(
+                    base=wall[step] + my.start * 64, strides=(64,),
+                    lengths=(max(1, len(my)),), elem_size=64,
+                ))
+                dst_spec = StreamSpec(sid=2, kind="store", pattern=AffinePattern(
+                    base=dst + my.start * 64, strides=(64,),
+                    lengths=(max(1, len(my)),), elem_size=64,
+                ))
+
+                def iterations(n=len(my)):
+                    for _ in range(n):
+                        # 16 entries/line: 2 cmps + add each, SIMD.
+                        yield Iteration(compute_ops=6, ops=(
+                            ("sload", 0), ("sload", 1), ("sstore", 2),
+                        ))
+
+                phases.append(KernelPhase(
+                    name=f"step{step}",
+                    stream_specs=[src_spec, wall_spec, dst_spec],
+                    iterations=iterations,
+                ))
+            programs[core] = CoreProgram(phases=phases)
+        return programs

@@ -1,0 +1,35 @@
+"""SRAD — speckle-reducing anisotropic diffusion (Table IV:
+512x2048, 8 iterations).
+
+Each time step runs two kernels with a barrier between them: the
+gradient/coefficient pass and the diffusion update, both 4-neighbour
+stencils over the image with an auxiliary coefficient array. That
+doubles the phase count relative to hotspot and re-streams the image
+twice per step — exactly why srad stresses the NoC in Figure 15.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadMeta, register
+from repro.workloads.stencil import StencilWorkload
+
+
+@register
+class Srad(StencilWorkload):
+    META = WorkloadMeta(
+        name="srad",
+        table_iv="512x2048, 8 iters",
+        stencil=True,
+    )
+
+    COMPUTE_OPS = 14
+    KERNELS_PER_STEP = 2  # gradient pass + update pass
+
+    def _dims(self):
+        # Full size: 512 rows x 2048 f32 (8 kB rows).
+        # Per-core stream footprint must clearly exceed the scaled L2
+        # (32 rows x 512 B = 16 kB per core at the default profile).
+        rows = max(self.num_cores * 32, 2048 // max(1, self.scale // 4))
+        row_bytes = max(256, 8192 // self.scale)
+        steps = max(1, 8 // min(self.scale, 8))
+        return rows, row_bytes, steps

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.harness`` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+def test_cli_runs_a_small_figure(capsys):
+    rc = main([
+        "fig2", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "nn",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "nn" in out
+    assert "done in" in out
+
+
+def test_cli_fig14(capsys):
+    rc = main([
+        "fig14", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "conv3d",
+    ])
+    assert rc == 0
+    assert "Figure 14" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_rejects_unknown_core():
+    with pytest.raises(SystemExit):
+        main(["fig2", "--core", "pentium"])

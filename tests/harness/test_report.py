@@ -1,0 +1,81 @@
+"""Tests for report rendering (pure formatting, no simulation)."""
+
+from repro.harness.experiments import (
+    Fig2Row,
+    Fig13Cell,
+    Fig15Row,
+    Fig18Cell,
+    Fig19Point,
+)
+from repro.harness import report
+
+
+def test_fig2_render_includes_paper_note_and_mean():
+    rows = [
+        Fig2Row("mv", 0.9, 0.8, 0.5, 0.2),
+        Fig2Row("nn", 0.7, 0.6, 0.4, 0.1),
+    ]
+    out = report.render_fig2(rows)
+    assert "72%" in out  # the paper's number is shown for comparison
+    assert "mean" in out
+    assert "mv" in out and "nn" in out
+    assert "0.80" in out
+
+
+def test_fig13_render_geomean_row():
+    data = {"io4": {
+        "mv": {"base": Fig13Cell(1.0, 1.0), "sf": Fig13Cell(2.0, 1.5)},
+        "nn": {"base": Fig13Cell(1.0, 1.0), "sf": Fig13Cell(8.0, 3.0)},
+    }}
+    out = report.render_fig13(data)
+    assert "geomean" in out
+    assert "4.00" in out  # geomean(2, 8)
+    assert "[io4]" in out
+
+
+def test_fig15_render_per_config_means():
+    rows = [
+        Fig15Row("mv", "base", 0.3, 0.7, 0.0, 0.1),
+        Fig15Row("mv", "sf", 0.1, 0.5, 0.02, 0.05),
+    ]
+    out = report.render_fig15(rows)
+    assert "mean" in out
+    assert "util" in out
+
+
+def test_sweep_render():
+    data = {"mv": {("sf", 128): 1.2, ("bingo", 128): 1.0}}
+    out = report.render_sweep(data, "Figure 16", "note")
+    assert "sf@128" in out
+    assert "bingo@128" in out
+    assert "geomean" in out
+
+
+def test_fig18_render():
+    data = {"mv": {(4, 4): Fig18Cell(1.3, 0.2, 0.8)}}
+    out = report.render_fig18(data)
+    assert "4x4" in out
+    assert "1.30" in out
+    assert "l2 0.20" in out
+
+
+def test_fig19_render_sorted():
+    pts = [
+        Fig19Point("ooo8", "sf", 3.0, 2.0),
+        Fig19Point("io4", "base", 1.0, 1.0),
+    ]
+    out = report.render_fig19(pts)
+    # Sorted by core then config: io4 row before ooo8.
+    assert out.index("io4") < out.index("ooo8")
+
+
+def test_fmt_digits():
+    assert report.fmt(1.23456) == "1.23"
+    assert report.fmt(1.23456, 3) == "1.235"
+
+
+def test_paper_notes_cover_all_figures():
+    for fig in ("fig2", "fig13", "fig14", "fig15", "fig16", "fig17",
+                "fig18", "fig19"):
+        assert fig in report.PAPER_NOTES
+        assert "paper" in report.PAPER_NOTES[fig]

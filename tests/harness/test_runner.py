@@ -1,0 +1,64 @@
+"""Tests for the experiment runner and memoization."""
+
+import pytest
+
+from repro.harness.runner import clear_cache, run_once
+
+KW = dict(cols=2, rows=2, scale=32)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_run_once_produces_record():
+    rec = run_once("nn", "base", **KW)
+    assert rec.cycles > 0
+    assert rec.energy.total > 0
+    assert rec.flit_hops > 0
+    assert rec.workload == "nn"
+    assert rec.config == "base"
+
+
+def test_memoization_returns_same_object():
+    a = run_once("nn", "base", **KW)
+    b = run_once("nn", "base", **KW)
+    assert a is b
+
+
+def test_cache_distinguishes_parameters():
+    a = run_once("nn", "base", **KW)
+    b = run_once("nn", "sf", **KW)
+    assert a is not b
+    c = run_once("nn", "base", link_bits=128, **KW)
+    assert c is not a
+
+
+def test_use_cache_false_reruns():
+    a = run_once("nn", "base", **KW)
+    b = run_once("nn", "base", use_cache=False, **KW)
+    assert a is not b
+    # Deterministic simulation: identical outcome.
+    assert a.cycles == b.cycles
+    assert a.flit_hops == b.flit_hops
+
+
+def test_hit_rates_in_range():
+    rec = run_once("hotspot", "base", **KW)
+    assert 0.0 <= rec.l2_hit_rate() <= 1.0
+    assert 0.0 <= rec.l3_hit_rate() <= 1.0
+
+
+def test_utilization_positive():
+    rec = run_once("nn", "base", **KW)
+    assert 0.0 < rec.noc_utilization() < 1.0
+
+
+def test_traffic_breakdown_sums_to_flit_hops():
+    rec = run_once("nn", "sf", **KW)
+    td = rec.traffic_breakdown()
+    assert sum(td.values()) == pytest.approx(rec.flit_hops)
+    assert td["stream"] > 0  # floating ran

@@ -1,0 +1,88 @@
+"""Property-based fuzzing of the full chip.
+
+Hypothesis generates small random programs — mixes of plain loads,
+stores, and streams with random shapes — and runs them on the
+stream-floating system. Whatever the mix, the run must terminate, the
+caches must stay coherent, and no transaction may leak. This shakes
+out protocol corner cases (aliasing stores into stream windows,
+overlapping streams, tiny streams that never float, stores racing
+floats) that the curated workloads don't produce.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.system import Chip, make_config
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase
+
+from tests.integration.test_invariants import check_coherence
+
+REGION = 0x100_0000
+REGION_BYTES = 1 << 20
+
+
+@st.composite
+def stream_specs(draw, sid):
+    base = REGION + draw(st.integers(0, 512)) * 64
+    lines = draw(st.integers(1, 96))
+    stride = draw(st.sampled_from([64, 128, 256]))
+    kind = draw(st.sampled_from(["load", "load", "load", "store"]))
+    return StreamSpec(sid=sid, kind=kind, pattern=AffinePattern(
+        base=base, strides=(stride,), lengths=(lines,), elem_size=64,
+    ))
+
+
+@st.composite
+def programs(draw):
+    n_streams = draw(st.integers(0, 3))
+    specs = [draw(stream_specs(sid)) for sid in range(n_streams)]
+    n_iters = draw(st.integers(1, 40))
+    ops_menu = []
+    for spec in specs:
+        ops_menu.append(("sload", spec.sid) if spec.kind == "load"
+                        else ("sstore", spec.sid))
+    iters = []
+    consumed = {s.sid: 0 for s in specs}
+    for i in range(n_iters):
+        ops = []
+        for op in ops_menu:
+            sid = op[1]
+            spec = specs[sid]
+            if consumed[sid] < spec.length:
+                ops.append(op)
+                consumed[sid] += 1
+        if draw(st.booleans()):
+            addr = REGION + draw(st.integers(0, 2048)) * 64
+            if draw(st.booleans()):
+                ops.append(("load", addr, 99))
+            else:
+                ops.append(("store", addr, 98))  # may alias streams!
+        iters.append(Iteration(compute_ops=draw(st.integers(1, 8)),
+                               ops=tuple(ops)))
+    return CoreProgram(phases=[KernelPhase(
+        name="fuzz", stream_specs=specs, iterations=lambda it=iters: iter(it),
+    )])
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(st.lists(programs(), min_size=1, max_size=4), st.booleans())
+def test_random_programs_terminate_coherently(progs, sgc):
+    config = "sf_sgc" if sgc else "sf"
+    chip = Chip(make_config(config, core="ooo4", cols=2, rows=2, scale=32))
+    mapping = {i % chip.num_cores: p for i, p in enumerate(progs)}
+    result = chip.run(mapping)
+    assert result.cycles >= 0
+    check_coherence(chip)
+    for tile in chip.tiles:
+        assert len(tile.l1.mshr) == 0
+        assert len(tile.l2.mshr) == 0
+        assert len(tile.l3.mshr) == 0
+    # Stats sanity: no negative counters.
+    for name, value in result.stats.items():
+        assert value >= 0, name

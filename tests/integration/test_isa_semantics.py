@@ -1,0 +1,85 @@
+"""End-to-end checks that the same stream program means the same
+thing on every system — the binary-compatibility property the
+decoupled-stream ISA provides (SS III-A).
+
+Whatever the system (Base lowering, SS prefetching, SF floating), a
+program must touch the same addresses the same number of times; only
+*when* and *through which mechanism* differs.
+"""
+
+import pytest
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.system import Chip, make_config
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase
+
+BASE_ADDR = 0x200_0000
+LINES = 192
+
+
+def program():
+    spec = StreamSpec(sid=0, pattern=AffinePattern(
+        base=BASE_ADDR, strides=(64,), lengths=(LINES,), elem_size=64,
+    ))
+    out = StreamSpec(sid=1, kind="store", pattern=AffinePattern(
+        base=BASE_ADDR + 0x100_0000, strides=(64,), lengths=(LINES,),
+        elem_size=64,
+    ))
+
+    def iterations():
+        for _ in range(LINES):
+            yield Iteration(compute_ops=4, ops=(("sload", 0), ("sstore", 1)))
+
+    return CoreProgram(phases=[KernelPhase(
+        name="copy", stream_specs=[spec, out], iterations=iterations,
+    )])
+
+
+def run(config):
+    chip = Chip(make_config(config, core="ooo4", cols=2, rows=2, scale=32))
+    result = chip.run({0: program()})
+    return chip, result
+
+
+@pytest.mark.parametrize("config", ["base", "stride", "ss", "sf"])
+def test_iteration_and_store_counts_identical(config):
+    _, result = run(config)
+    assert result.stats["core.iterations"] == LINES
+    assert result.stats["core.stores"] == LINES
+
+
+@pytest.mark.parametrize("config", ["base", "ss", "sf"])
+def test_every_source_line_fetched_exactly_once(config):
+    """No duplicate fetches and no skips: the source array's lines
+    reach the chip exactly once from DRAM (no prefetcher overfetch in
+    these configs)."""
+    _, result = run(config)
+    # Source + destination (write-allocate) lines.
+    assert result.stats["dram.reads"] == 2 * LINES
+
+
+def test_sf_moves_the_same_data_with_fewer_messages():
+    _, base = run("base")
+    _, sf = run("sf")
+    base_ctrl = base.stats["noc.flits.ctrl"]
+    sf_ctrl = sf.stats["noc.flits.ctrl"]
+    assert sf_ctrl < base_ctrl
+    # Data flit volume is essentially unchanged (same bytes move).
+    assert sf.stats["noc.flits.data"] == pytest.approx(
+        base.stats["noc.flits.data"], rel=0.1,
+    )
+
+
+def test_store_addresses_follow_pattern_on_all_systems():
+    """The store stream writes the same destination lines under SE
+    and fallback lowering."""
+    chip_base, _ = run("base")
+    chip_sf, _ = run("sf")
+    dst_first = BASE_ADDR + 0x100_0000
+    for chip in (chip_base, chip_sf):
+        bank = chip.nuca.bank_of(dst_first)
+        line = chip.tiles[bank].l3.array.lookup(dst_first, touch=False)
+        dir_ent = chip.tiles[bank].l3.dir.peek(dst_first)
+        # The line exists somewhere on chip: L3 copy or a tracked owner.
+        assert line is not None or dir_ent is not None

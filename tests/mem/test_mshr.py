@@ -1,0 +1,64 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MshrFile
+
+
+def test_allocate_and_lookup_by_line():
+    m = MshrFile(4)
+    entry = m.allocate(0x1234, now=10)
+    assert entry.addr == 0x1200
+    assert entry.issued_cycle == 10
+    # Any address in the same line finds the entry.
+    assert m.lookup(0x1210) is entry
+    assert m.lookup(0x1300) is None
+
+
+def test_merge_waiters():
+    m = MshrFile(2)
+    entry = m.allocate(0x40, now=0)
+    results = []
+    entry.waiters.append(results.append)
+    entry.waiters.append(results.append)
+    released = m.release(0x40)
+    for waiter in released.waiters:
+        waiter("data")
+    assert results == ["data", "data"]
+
+
+def test_capacity_enforced():
+    m = MshrFile(1)
+    m.allocate(0x0, now=0)
+    assert m.full
+    with pytest.raises(RuntimeError):
+        m.allocate(0x40, now=0)
+    m.release(0x0)
+    assert not m.full
+    m.allocate(0x40, now=0)
+
+
+def test_duplicate_allocation_rejected():
+    m = MshrFile(4)
+    m.allocate(0x80, now=0)
+    with pytest.raises(ValueError):
+        m.allocate(0xA0, now=0)  # same line
+
+
+def test_release_unknown_raises():
+    m = MshrFile(4)
+    with pytest.raises(KeyError):
+        m.release(0x40)
+
+
+def test_outstanding_listing():
+    m = MshrFile(4)
+    m.allocate(0x100, now=0)
+    m.allocate(0x40, now=0)
+    assert m.outstanding() == [0x40, 0x100]
+    assert len(m) == 2
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        MshrFile(0)

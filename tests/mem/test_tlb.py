@@ -1,0 +1,50 @@
+"""Tests for the two-level TLB model."""
+
+from repro.mem.addr import PAGE_SIZE
+from repro.mem.tlb import Tlb
+
+
+def test_miss_then_hit_latencies():
+    tlb = Tlb(entries=4, hit_latency=1, miss_latency=20)
+    assert tlb.translate(0x1000) == 21  # cold miss pays the walk
+    assert tlb.translate(0x1FFF) == 1  # same page now hits
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_lru_eviction():
+    tlb = Tlb(entries=2, hit_latency=1, miss_latency=10)
+    tlb.translate(0 * PAGE_SIZE)
+    tlb.translate(1 * PAGE_SIZE)
+    tlb.translate(0 * PAGE_SIZE)  # refresh page 0
+    tlb.translate(2 * PAGE_SIZE)  # evicts page 1
+    assert 0 * PAGE_SIZE in tlb
+    assert 1 * PAGE_SIZE not in tlb
+    assert 2 * PAGE_SIZE in tlb
+
+
+def test_two_level_hierarchy():
+    l2 = Tlb(entries=16, hit_latency=8, miss_latency=50)
+    l1 = Tlb(entries=2, hit_latency=1, backing=l2)
+    # Cold: L1 miss -> L2 miss -> walk.
+    assert l1.translate(0x5000) == 1 + 8 + 50
+    # Evict page 5 from tiny L1, keep it in L2.
+    l1.translate(0x6000)
+    l1.translate(0x7000)
+    assert 0x5000 not in l1
+    # L1 miss but L2 hit: cheaper than the walk.
+    assert l1.translate(0x5000) == 1 + 8
+
+
+def test_flush():
+    tlb = Tlb(entries=4)
+    tlb.translate(0x1000)
+    tlb.flush()
+    assert 0x1000 not in tlb
+
+
+def test_rejects_zero_entries():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Tlb(entries=0)

@@ -1,0 +1,108 @@
+"""Tests for the mesh topology and X-Y routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.topology import Mesh
+
+
+def test_coords_roundtrip():
+    mesh = Mesh(4, 2)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(5) == (1, 1)
+    assert mesh.tile_at(1, 1) == 5
+
+
+def test_hops_manhattan():
+    mesh = Mesh(8, 8)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 7) == 7
+    assert mesh.hops(0, 63) == 14
+
+
+def test_route_x_then_y():
+    mesh = Mesh(4, 4)
+    # From (0,0) to (2,1): x first (0->1->2), then y (row 0 -> row 1).
+    route = mesh.route(0, 6)
+    assert route == [(0, 1), (1, 2), (2, 6)]
+
+
+def test_route_negative_directions():
+    mesh = Mesh(4, 4)
+    route = mesh.route(15, 0)  # (3,3) -> (0,0)
+    assert route == [(15, 14), (14, 13), (13, 12), (12, 8), (8, 4), (4, 0)]
+
+
+def test_route_empty_for_self():
+    mesh = Mesh(4, 4)
+    assert mesh.route(5, 5) == []
+
+
+def test_num_links():
+    # 2x2 mesh: 4 horizontal + 4 vertical unidirectional links.
+    assert Mesh(2, 2).num_links == 8
+    # 8x8: 2*7*8 + 2*7*8 = 224.
+    assert Mesh(8, 8).num_links == 224
+
+
+def test_corners():
+    mesh = Mesh(8, 8)
+    assert mesh.corners() == [0, 7, 56, 63]
+
+
+def test_block_of():
+    mesh = Mesh(8, 8)
+    assert mesh.block_of(0) == (0, 0)
+    assert mesh.block_of(9) == (0, 0)  # (1,1)
+    assert mesh.block_of(2) == (1, 0)
+    assert mesh.block_of(63) == (3, 3)
+
+
+def test_multicast_tree_shares_prefix():
+    mesh = Mesh(4, 4)
+    routes = mesh.multicast_tree(0, [3, 7])  # (3,0) and (3,1)
+    links = Mesh.unique_links(routes)
+    # Unicast would be 3 + 4 = 7 link traversals; shared prefix of 3.
+    assert len(links) == 4
+    assert routes[3] == [(0, 1), (1, 2), (2, 3)]
+    assert routes[7] == [(0, 1), (1, 2), (2, 3), (3, 7)]
+
+
+def test_out_of_range_rejected():
+    mesh = Mesh(2, 2)
+    with pytest.raises(ValueError):
+        mesh.coords(4)
+    with pytest.raises(ValueError):
+        mesh.tile_at(2, 0)
+    with pytest.raises(ValueError):
+        Mesh(0, 4)
+
+
+@given(
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=0, max_value=63),
+)
+def test_route_length_equals_hops(src, dst):
+    mesh = Mesh(8, 8)
+    route = mesh.route(src, dst)
+    assert len(route) == mesh.hops(src, dst)
+    # Route is connected and ends at dst.
+    here = src
+    for a, b in route:
+        assert a == here
+        assert mesh.hops(a, b) == 1
+        here = b
+    assert here == dst
+
+
+@given(
+    st.integers(min_value=0, max_value=15),
+    st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=4),
+)
+def test_multicast_tree_never_worse_than_unicast(src, dsts):
+    mesh = Mesh(4, 4)
+    routes = mesh.multicast_tree(src, dsts)
+    unique = Mesh.unique_links(routes)
+    total_unicast = sum(len(r) for r in routes.values())
+    assert len(unique) <= total_unicast

@@ -1,0 +1,100 @@
+"""Prefetcher accuracy on the paper's named access shapes.
+
+The paper calls out two failure cases for the baseline prefetchers:
+nw's blocked 2-D array accessed in diagonal order defeats the stride
+prefetcher, and neither baseline supports the indirection in bfs.
+These tests pin the accuracy characteristics on the raw access
+sequences, complementing the full-system traffic measurements.
+"""
+
+import numpy as np
+
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+def accuracy(prefetcher, op_id, addresses):
+    """Fraction of issued prefetch lines later demanded."""
+    demanded = {a >> 6 for a in addresses}
+    issued = []
+    for addr in addresses:
+        issued.extend(prefetcher.on_access(op_id, addr, hit=False))
+    if not issued:
+        return None
+    useful = sum(1 for line in issued if (line >> 6) in demanded)
+    return useful / len(issued)
+
+
+def nw_block_sequence(block=16, row_bytes=4096, nblocks=4):
+    """nw's shape: a few consecutive lines, then a jump of a full
+    matrix row; blocks visited in diagonal order."""
+    addrs = []
+    for diag in range(nblocks):
+        base = diag * (row_bytes * block + block * 64)  # (i, j=diag-i)
+        for r in range(block):
+            for line in range(4):
+                addrs.append(base + r * row_bytes + line * 64)
+    return addrs
+
+
+def dense_sequence(lines=256):
+    return [i * 64 for i in range(lines)]
+
+
+def gather_sequence(n=512, span_lines=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    return [int(x) * 64 for x in rng.integers(0, span_lines, n)]
+
+
+def test_stride_perfect_on_dense():
+    acc = accuracy(StridePrefetcher(degree=4), 1, dense_sequence())
+    assert acc is not None and acc > 0.95
+
+
+def test_stride_struggles_on_nw_blocks():
+    """The paper: 'nw failed on the stride prefetcher (blocked 2D
+    array accessed in diagonal order)' — every 4 lines the stride
+    breaks, so confidence keeps collapsing."""
+    dense = accuracy(StridePrefetcher(degree=8), 1, dense_sequence())
+    pf = StridePrefetcher(degree=8)
+    addrs = nw_block_sequence()
+    lines = {a >> 6 for a in addrs}
+    issued = []
+    for a in addrs:
+        issued.extend(pf.on_access(1, a, hit=False))
+    useful = sum(1 for p in issued if (p >> 6) in lines)
+    nw_accuracy = useful / len(issued)
+    # Dense streaming: near-perfect. nw's blocked diagonal: mostly
+    # junk prefetches (the 4-line runs keep breaking the stride).
+    assert dense > 0.9
+    assert nw_accuracy < 0.5
+    assert len(issued) > useful * 2  # substantial overfetch
+
+
+def test_neither_baseline_covers_gathers():
+    """Random gathers (bfs's visited accesses): stride finds no
+    stable stride; Bingo's regions never repeat."""
+    seq = gather_sequence()
+    stride_acc = accuracy(StridePrefetcher(degree=8), 7, seq)
+    bingo = BingoPrefetcher()
+    issued = []
+    for a in seq:
+        issued.extend(bingo.on_access(7, a, hit=False))
+    # Few-to-no useful prefetches from either.
+    if stride_acc is not None:
+        assert stride_acc < 0.3
+    demanded = {a >> 6 for a in seq}
+    useful = sum(1 for line in issued if (line >> 6) in demanded)
+    assert useful <= len(seq) * 0.2
+
+
+def test_bingo_learns_repeated_footprints():
+    """Bingo's strength: a revisited region replays its footprint."""
+    bingo = BingoPrefetcher(accumulation_entries=1)
+    region = 0x10000
+    pattern = [region + off * 64 for off in (0, 3, 7, 12)]
+    for a in pattern:
+        bingo.on_access(3, a, hit=False)
+    bingo.on_access(3, 0x90000, hit=False)  # evict the generation
+    out = bingo.on_access(3, region, hit=False)
+    assert set(out) == {region + off * 64 for off in (3, 7, 12)}

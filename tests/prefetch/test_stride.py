@@ -1,0 +1,88 @@
+"""Tests for the stride prefetcher."""
+
+from repro.prefetch.stride import StridePrefetcher
+
+
+def drive(pf, op_id, start, stride, count):
+    out = []
+    for i in range(count):
+        out.append(pf.on_access(op_id, start + i * stride, hit=False))
+    return out
+
+
+def test_no_prefetch_until_confident():
+    pf = StridePrefetcher(degree=4)
+    results = drive(pf, 1, 0x1000, 64, 3)
+    assert results[0] == []  # first touch: allocate
+    assert results[1] == []  # stride learned, confidence 1
+    assert results[2] != []  # confidence 2: fire
+
+
+def test_prefetch_addresses_follow_stride():
+    pf = StridePrefetcher(degree=4)
+    results = drive(pf, 1, 0x1000, 64, 3)
+    addr = 0x1000 + 2 * 64
+    assert results[2] == [addr + 64 * k for k in range(1, 5)]
+
+
+def test_steady_state_one_line_per_access():
+    pf = StridePrefetcher(degree=4)
+    results = drive(pf, 1, 0x0, 64, 10)
+    # After the initial burst, each access extends the window by one.
+    for lines in results[4:]:
+        assert len(lines) == 1
+
+
+def test_stride_change_resets():
+    pf = StridePrefetcher(degree=4)
+    drive(pf, 1, 0x1000, 64, 4)  # confidence saturates at 3
+    # Break the pattern: confidence decays over mismatching accesses
+    # (the prefetcher keeps firing on the old stride briefly, as real
+    # RPT designs do), then the new stride trains from scratch.
+    for i in range(4):
+        pf.on_access(1, 0x90000 + i * 0x3000, hit=False)
+    entry = pf._table[1]
+    assert entry.stride == 0x3000
+    assert entry.confidence < StridePrefetcher.CONF_MAX
+
+
+def test_negative_stride():
+    pf = StridePrefetcher(degree=2)
+    out = drive(pf, 1, 0x10000, -64, 4)
+    assert any(out)
+    fired = [lines for lines in out if lines]
+    for lines in fired:
+        assert all(a < 0x10000 for a in lines)
+
+
+def test_large_stride_skips_lines():
+    pf = StridePrefetcher(degree=2)
+    out = drive(pf, 1, 0x0, 4096, 3)
+    assert out[2] == [2 * 4096 + 4096, 2 * 4096 + 2 * 4096]
+
+
+def test_sub_line_stride_dedups_lines():
+    pf = StridePrefetcher(degree=8)
+    out = drive(pf, 1, 0x0, 8, 3)
+    if out[2]:
+        assert len(out[2]) == len(set(out[2]))
+
+
+def test_table_capacity_evicts_lru():
+    pf = StridePrefetcher(streams=2, degree=2)
+    drive(pf, 1, 0x1000, 64, 3)
+    drive(pf, 2, 0x2000, 64, 3)
+    drive(pf, 3, 0x3000, 64, 3)  # evicts op 1
+    # Op 1 must retrain from scratch: no prefetch on next access.
+    assert pf.on_access(1, 0x1000 + 3 * 64, hit=False) == []
+
+
+def test_zero_stride_ignored():
+    pf = StridePrefetcher()
+    pf.on_access(1, 0x1000, hit=False)
+    assert pf.on_access(1, 0x1000, hit=False) == []
+
+
+def test_none_op_id_ignored():
+    pf = StridePrefetcher()
+    assert pf.on_access(None, 0x1000, hit=False) == []

@@ -1,0 +1,76 @@
+"""Tests for the statistics tree."""
+
+from repro.sim import Histogram, Stats
+
+
+def test_add_and_get():
+    s = Stats()
+    s.add("noc.flits.data", 3)
+    s.add("noc.flits.data", 2)
+    assert s["noc.flits.data"] == 5
+    assert s["missing"] == 0
+    assert s.get("missing", 7) == 7
+
+
+def test_group_strips_prefix():
+    s = Stats()
+    s.add("noc.flits.data", 4)
+    s.add("noc.flits.ctrl", 1)
+    s.add("l2.hits", 9)
+    assert s.group("noc.flits") == {"data": 4, "ctrl": 1}
+    assert s.total("noc.flits") == 5
+
+
+def test_group_requires_dot_boundary():
+    s = Stats()
+    s.add("l2.hits", 1)
+    s.add("l2x.hits", 1)
+    assert s.group("l2") == {"hits": 1}
+
+
+def test_merge_adds_counters():
+    a, b = Stats(), Stats()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a["x"] == 3
+    assert a["y"] == 3
+
+
+def test_maximize():
+    s = Stats()
+    s.maximize("peak", 5)
+    s.maximize("peak", 3)
+    assert s["peak"] == 5
+
+
+def test_set_overwrites():
+    s = Stats()
+    s.add("v", 10)
+    s.set("v", 2)
+    assert s["v"] == 2
+
+
+def test_dump_lists_sorted():
+    s = Stats()
+    s.add("b", 1)
+    s.add("a", 2)
+    lines = s.dump().splitlines()
+    assert lines[0].startswith("a")
+    assert lines[1].startswith("b")
+
+
+def test_histogram_basics():
+    h = Histogram(bucket_size=10)
+    for v in (1, 5, 12, 99):
+        h.record(v)
+    assert h.count == 4
+    assert h.mean == (1 + 5 + 12 + 99) / 4
+    assert h.min == 1
+    assert h.max == 99
+    assert h.buckets() == [(0, 2), (10, 1), (90, 1)]
+
+
+def test_histogram_empty_mean_is_zero():
+    assert Histogram().mean == 0.0

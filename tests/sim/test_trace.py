@@ -1,0 +1,70 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.sim.trace import TraceEvent, Tracer
+from repro.system import Chip, make_config
+from repro.workloads import build_programs
+
+
+def traced_run(kinds=None, workload="hotspot", config="sf"):
+    chip = Chip(make_config(config, core="ooo4", cols=2, rows=2, scale=32))
+    tracer = Tracer(chip, kinds=kinds)
+    programs = build_programs(workload, chip.num_cores, scale=32)
+    chip.run(programs)
+    return tracer
+
+
+def test_records_floats_and_migrations():
+    tracer = traced_run(kinds=("float", "migrate"))
+    assert tracer.of_kind("float"), "no floats traced"
+    assert tracer.of_kind("migrate"), "no migrations traced"
+    # Kinds filter respected.
+    assert not tracer.of_kind("credit")
+
+
+def test_all_kinds_by_default():
+    tracer = traced_run()
+    kinds = {ev.kind for ev in tracer.events}
+    assert "float" in kinds
+    assert "credit" in kinds or "migrate" in kinds
+
+
+def test_events_are_time_ordered():
+    tracer = traced_run(kinds=("float", "sink", "migrate", "end"))
+    cycles = [ev.cycle for ev in tracer.events]
+    assert cycles == sorted(cycles)
+
+
+def test_capacity_bounds_buffer():
+    chip = Chip(make_config("sf", core="ooo4", cols=2, rows=2, scale=32))
+    tracer = Tracer(chip, capacity=10)
+    programs = build_programs("hotspot", chip.num_cores, scale=32)
+    chip.run(programs)
+    assert len(tracer.events) <= 10
+
+
+def test_summary_and_str():
+    tracer = traced_run(kinds=("float",))
+    text = tracer.summary()
+    assert "float" in text
+    ev = tracer.events[0]
+    assert "float" in str(ev)
+    assert str(ev.tile) in str(ev)
+
+
+def test_unknown_kind_rejected():
+    chip = Chip(make_config("sf", core="ooo4", cols=2, rows=2, scale=32))
+    with pytest.raises(ValueError):
+        Tracer(chip, kinds=("teleport",))
+
+
+def test_tracing_does_not_change_results():
+    def run(with_tracer):
+        chip = Chip(make_config("sf", core="ooo4", cols=2, rows=2, scale=32))
+        if with_tracer:
+            Tracer(chip)
+        programs = build_programs("hotspot", chip.num_cores, scale=32)
+        return chip.run(programs).cycles
+
+    assert run(True) == run(False)

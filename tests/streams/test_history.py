@@ -1,0 +1,70 @@
+"""Tests for the stream history table (Table II) float policy."""
+
+from repro.streams.history import StreamHistoryTable
+
+
+def feed(table, sid, requests, misses, reuses=0):
+    for _ in range(requests):
+        table.record_request(sid)
+    for _ in range(misses):
+        table.record_miss(sid)
+    for _ in range(reuses):
+        table.record_reuse(sid)
+
+
+def test_entry_fields_match_table_ii():
+    table = StreamHistoryTable()
+    feed(table, 3, requests=5, misses=4, reuses=1)
+    ent = table.entry(3)
+    assert ent.sid == 3
+    assert ent.requests == 5
+    assert ent.misses == 4
+    assert ent.reuses == 1
+    assert ent.aliased is False
+
+
+def test_no_float_before_min_requests():
+    table = StreamHistoryTable(min_requests=32)
+    feed(table, 0, requests=31, misses=31)
+    assert not table.should_float(0)
+    feed(table, 0, requests=1, misses=1)
+    assert table.should_float(0)
+
+
+def test_reuse_blocks_floating():
+    table = StreamHistoryTable(min_requests=4)
+    feed(table, 0, requests=10, misses=10, reuses=1)
+    assert not table.should_float(0)
+
+
+def test_low_miss_ratio_blocks_floating():
+    table = StreamHistoryTable(min_requests=4, miss_ratio_threshold=0.7)
+    feed(table, 0, requests=10, misses=3)
+    assert not table.should_float(0)
+
+
+def test_alias_blocks_floating():
+    table = StreamHistoryTable(min_requests=4)
+    feed(table, 0, requests=10, misses=10)
+    table.record_alias(0)
+    assert not table.should_float(0)
+
+
+def test_unknown_stream_never_floats():
+    assert not StreamHistoryTable().should_float(42)
+
+
+def test_reset():
+    table = StreamHistoryTable(min_requests=2)
+    feed(table, 0, requests=4, misses=4)
+    assert table.should_float(0)
+    table.reset(0)
+    assert not table.should_float(0)
+    assert len(table) == 0
+
+
+def test_miss_ratio():
+    table = StreamHistoryTable()
+    feed(table, 0, requests=4, misses=1)
+    assert table.entry(0).miss_ratio == 0.25
+    assert table.entry(9).miss_ratio == 0.0

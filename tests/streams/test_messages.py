@@ -1,0 +1,60 @@
+"""Tests for stream-management message encodings."""
+
+import numpy as np
+
+from repro.streams.isa import StreamSpec
+from repro.streams.messages import (
+    Credit,
+    EndAck,
+    EndStream,
+    FloatConfig,
+    IndFetch,
+    Migrate,
+    StreamInv,
+)
+from repro.streams.pattern import AffinePattern, IndirectPattern
+
+
+def affine(sid=0, lines=16):
+    return StreamSpec(sid=sid, pattern=AffinePattern(
+        base=0, strides=(64,), lengths=(lines,), elem_size=64,
+    ))
+
+
+def indirect(sid=1, parent=0, n=8):
+    index = AffinePattern(base=0, strides=(8,), lengths=(n,), elem_size=8)
+    return StreamSpec(sid=sid, parent_sid=parent, pattern=IndirectPattern(
+        base=0x1000, index_pattern=index,
+        index_array=np.arange(n, dtype=np.int64),
+    ))
+
+
+def test_float_config_bits_match_table1():
+    cfg = FloatConfig(spec=affine(), children=[], start_idx=0,
+                      credits=8, requester=0)
+    assert cfg.bits() == 450
+    with_child = FloatConfig(spec=affine(), children=[indirect()],
+                             start_idx=0, credits=8, requester=0)
+    assert with_child.bits() == 450 + 60
+
+
+def test_migrate_bigger_than_config():
+    cfg = FloatConfig(spec=affine(), children=[], start_idx=0,
+                      credits=8, requester=0)
+    mig = Migrate(spec=affine(), children=[], next_idx=5, credits=3,
+                  requester=0)
+    assert mig.bits() > cfg.bits()
+
+
+def test_small_messages_fit_one_flit():
+    """End / ack / credit / inv / indirect-fetch are tiny control
+    messages — single-flit at the default 256-bit link (with the
+    64-bit header)."""
+    for body in (
+        EndStream(requester=0, sid=1),
+        EndAck(sid=1),
+        Credit(requester=0, sid=1, count=16),
+        StreamInv(sid=1, addr=0x1234),
+        IndFetch(requester=0, sid=1, element=5, addr=0x40, data_bytes=4),
+    ):
+        assert body.bits() + 64 <= 256, type(body).__name__

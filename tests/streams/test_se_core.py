@@ -1,0 +1,161 @@
+"""Unit tests for the core stream engine (SE_core)."""
+
+import pytest
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from tests.streams.conftest import StreamRig, dense_spec
+
+BASE = 0x40_0000  # maps across banks
+
+
+class TestConfiguration:
+    def test_configure_allocates_fifo_share(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 64), dense_spec(1, BASE + 8192, 64)])
+        assert set(se.streams) == {0, 1}
+        # 512B FIFO over two 64B-element streams: 4 elements each.
+        assert se.streams[0].fifo_elems == 4
+
+    def test_too_many_streams_rejected(self, rig):
+        se = rig.se_cores[0]
+        specs = [dense_spec(i, BASE + i * 65536, 8) for i in range(13)]
+        with pytest.raises(RuntimeError):
+            se.configure(specs)
+
+    def test_end_removes_streams(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 8)])
+        se.end([0])
+        assert 0 not in se.streams
+        se.end([0])  # idempotent
+
+    def test_run_ahead_issues_fifo_depth(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 64)])
+        # One pump at configure: next_issue == fifo share.
+        assert se.streams[0].next_issue == se.streams[0].fifo_elems
+
+
+class TestConsumption:
+    def test_elements_delivered_in_order(self, rig):
+        rig.se_cores[0].configure([dense_spec(0, BASE, 16)])
+        times = []
+        done = rig.consume_all(0, 0, 16, times)
+        rig.run()
+        assert len(done) == 16
+        assert times == sorted(times)
+
+    def test_pipelined_claims_get_distinct_elements(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 8)])
+        got = []
+        for _ in range(4):  # four overlapping stream_loads
+            se.consume(0, lambda: got.append(1))
+        rig.run()
+        assert len(got) == 4
+        assert se.streams[0].claimed == 4
+
+    def test_store_next_advances_addresses(self, rig):
+        se = rig.se_cores[0]
+        spec = StreamSpec(sid=0, kind="store", pattern=AffinePattern(
+            base=BASE, strides=(64,), lengths=(4,), elem_size=64,
+        ))
+        se.configure([spec])
+        assert [se.store_next(0) for _ in range(3)] == [
+            BASE, BASE + 64, BASE + 128,
+        ]
+
+
+class TestFloatPolicy:
+    def test_large_footprint_floats_at_configure(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])  # 16kB > 4kB L2
+        assert se.streams[0].floating
+        assert rig.stats["se_core.floats"] == 1
+
+    def test_small_footprint_does_not_float(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 8)])  # 512B < 4kB L2
+        assert not se.streams[0].floating
+
+    def test_float_disabled_never_floats(self):
+        rig = StreamRig(float_enabled=False)
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])
+        assert not se.streams[0].floating
+
+    def test_floated_stream_completes(self, rig):
+        rig.se_cores[0].configure([dense_spec(0, BASE, 128)])
+        done = rig.consume_all(0, 0, 128)
+        rig.run()
+        assert len(done) == 128
+        assert rig.stats["l3.requests.stream_float"] > 0
+
+    def test_floating_faster_than_not_for_streaming(self):
+        def run(enabled):
+            rig = StreamRig(float_enabled=enabled)
+            rig.se_cores[0].configure([dense_spec(0, BASE, 256)])
+            rig.consume_all(0, 0, 256)
+            return rig.run()
+
+        assert run(True) < run(False)
+
+
+class TestAliasing:
+    def test_store_into_window_flushes_and_records(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 64)])
+        rig.run()
+        # Store at an address ahead of consumption, inside the issued
+        # window.
+        target = BASE + 64  # element 1, issued but unconsumed
+        se.notify_store(target)
+        assert rig.stats["se_core.alias_flushes"] == 1
+        assert se.history.entry(0).aliased
+
+    def test_store_outside_range_ignored(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 64)])
+        se.notify_store(0x900_0000)
+        assert rig.stats["se_core.alias_flushes"] == 0
+
+    def test_aliased_floating_stream_sinks(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])
+        assert se.streams[0].floating
+        rig.run()
+        se.notify_store(BASE + 64 * (se.streams[0].freed + 1))
+        assert not se.streams[0].floating
+        assert rig.stats["se_core.sinks"] == 1
+
+
+class TestIndirect:
+    def make_indirect(self, rig, n=32):
+        import numpy as np
+        from repro.streams.pattern import IndirectPattern
+
+        idx_pat = AffinePattern(base=BASE, strides=(8,), lengths=(n,),
+                                elem_size=8)
+        values = np.arange(n, dtype=np.int64)[::-1].copy()
+        parent = StreamSpec(sid=0, pattern=idx_pat)
+        child = StreamSpec(sid=1, parent_sid=0, pattern=IndirectPattern(
+            base=BASE + 0x10_0000, index_pattern=idx_pat,
+            index_array=values, scale=8, elem_size=8,
+        ))
+        rig.se_cores[0].configure([parent, child])
+        return parent, child
+
+    def test_child_wired_to_parent(self, rig):
+        self.make_indirect(rig)
+        se = rig.se_cores[0]
+        assert se.streams[1].parent is se.streams[0]
+        assert se.streams[0].children == [se.streams[1]]
+
+    def test_indirect_elements_deliver(self, rig):
+        self.make_indirect(rig)
+        done_parent = rig.consume_all(0, 0, 32)
+        done_child = rig.consume_all(0, 1, 32)
+        rig.run()
+        assert len(done_parent) == 32
+        assert len(done_child) == 32
