@@ -3,7 +3,16 @@
 All benchmarks run the fast profile (4x4 mesh, capacity scale 16 —
 DESIGN.md SS6) and share the harness's run memo, so figures that
 reuse the same simulation points (e.g. Figure 13's SF rows feeding
-Figure 14) never re-simulate.
+Figure 14) never re-simulate.  They additionally share the harness's
+persistent disk cache (``benchmarks/.runcache`` unless
+``REPRO_CACHE_DIR`` overrides it), so a *rerun* of the full suite
+performs zero new simulations; set ``REPRO_JOBS=N`` to fan the
+remaining misses out over N worker processes.
+
+Every benchmark is marked ``slow``: the tier-1 gate is ``pytest
+tests/`` (the default testpaths), and the full suite is ``pytest
+tests/ benchmarks/``; ``-m "not slow"`` deselects the figures
+anywhere.
 
 Each benchmark writes its rendered report (measured values next to
 the paper's) under ``benchmarks/out/`` and prints it, so
@@ -16,8 +25,20 @@ import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
+# Persist simulation results across benchmark sessions (the harness
+# only touches the disk cache when REPRO_CACHE_DIR is set).
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", os.path.join(os.path.dirname(__file__), ".runcache")
+)
+
 # Fast-profile geometry shared by all figures.
 PROFILE = dict(cols=4, rows=4, scale=16)
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks are the slow tier; keep `-m "not slow"` meaningful."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -14,9 +14,10 @@ DESIGN.md's substitution table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping
 
+from repro.noc.message import TRAFFIC_CLASSES
 from repro.sim.stats import Stats
 from repro.system.params import SystemParams
 
@@ -82,6 +83,15 @@ class EnergyBreakdown:
             "total": self.total,
         }
 
+    # Serialization (the disk run-cache stores breakdowns as JSON).
+    def to_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, float]) -> "EnergyBreakdown":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in values.items() if k in names})
+
 
 class EnergyModel:
     """Turns a run's stats into an :class:`EnergyBreakdown`."""
@@ -115,12 +125,11 @@ class EnergyModel:
         )
         bd.l3 = l3_accesses * p.l3_access
         flit_hops = sum(
-            stats.get(f"noc.flit_hops.{kind}")
-            for kind in ("ctrl", "data", "stream")
+            stats.get(f"noc.flit_hops.{kind}") for kind in TRAFFIC_CLASSES
         )
         # Local (0-hop) deliveries still traverse one router.
         flits = sum(
-            stats.get(f"noc.flits.{kind}") for kind in ("ctrl", "data", "stream")
+            stats.get(f"noc.flits.{kind}") for kind in TRAFFIC_CLASSES
         )
         bd.noc = (flit_hops + flits) * p.noc_flit_hop
         bd.dram = (stats["dram.reads"] + stats["dram.writes"]) * p.dram_access

@@ -1,6 +1,24 @@
-"""Experiment harness: runner, per-figure experiments, reports."""
+"""Experiment harness: runner, cache, parallel fan-out, figures, reports."""
 
-from repro.harness.runner import RunRecord, clear_cache, run_once
+from repro.harness.runner import (
+    RunRecord,
+    clear_cache,
+    configure_disk_cache,
+    run_once,
+)
+from repro.harness.cache import RunCache, default_cache_dir
+from repro.harness.parallel import resolve_jobs, run_points
 from repro.harness import experiments, report
 
-__all__ = ["run_once", "RunRecord", "clear_cache", "experiments", "report"]
+__all__ = [
+    "run_once",
+    "RunRecord",
+    "RunCache",
+    "clear_cache",
+    "configure_disk_cache",
+    "default_cache_dir",
+    "resolve_jobs",
+    "run_points",
+    "experiments",
+    "report",
+]

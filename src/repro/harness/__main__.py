@@ -5,7 +5,18 @@ Examples::
     python -m repro.harness fig13
     python -m repro.harness fig15 --core ooo8 --scale 16
     python -m repro.harness fig13 --cols 8 --rows 8 --scale 4   # full-size
-    python -m repro.harness all
+    python -m repro.harness fig13 --jobs 4                      # parallel
+    python -m repro.harness all --jobs 0                        # all CPUs
+    python -m repro.harness fig13 --no-cache                    # force re-sim
+
+Independent simulation points fan out over ``--jobs`` worker
+processes (default: the ``REPRO_JOBS`` environment variable, else
+serial), and results persist in a content-addressed disk cache under
+``--cache-dir`` (default: ``REPRO_CACHE_DIR``, else
+``~/.cache/repro-stream-floating``) — a rerun of the same figure
+performs zero new simulations.  Per-point progress and the cache
+hit/miss summary go to stderr; report text goes to stdout, and is
+byte-identical whatever ``--jobs`` is.
 """
 
 from __future__ import annotations
@@ -14,7 +25,13 @@ import argparse
 import sys
 import time
 
-from repro.harness import experiments, report
+from repro.harness import experiments, parallel, report
+from repro.harness.cache import default_cache_dir
+from repro.harness.runner import (
+    COUNTERS,
+    configure_disk_cache,
+    reset_disk_cache,
+)
 from repro.workloads import ALL_WORKLOADS
 
 FIGURES = ("fig2", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19")
@@ -34,13 +51,40 @@ def main(argv=None) -> int:
                         choices=("io4", "ooo4", "ooo8"))
     parser.add_argument("--workloads", nargs="*", default=None,
                         help=f"subset of {list(ALL_WORKLOADS)}")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload generation seed (part of the cache key)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel simulation workers (0 = one per CPU; "
+                             "default: $REPRO_JOBS, else serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent run-cache directory (default: "
+                             "$REPRO_CACHE_DIR, else "
+                             "~/.cache/repro-stream-floating)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk run cache")
     args = parser.parse_args(argv)
 
-    kw = dict(cols=args.cols, rows=args.rows, scale=args.scale)
+    configure_disk_cache(
+        None if args.no_cache else (args.cache_dir or default_cache_dir())
+    )
+    parallel.set_progress(lambda line: print(line, file=sys.stderr))
+    try:
+        return _run(args)
+    finally:
+        # main() is also called in-process by tests: restore the
+        # module-global cache/progress configuration on the way out.
+        parallel.set_progress(None)
+        reset_disk_cache()
+
+
+def _run(args) -> int:
+    kw = dict(cols=args.cols, rows=args.rows, scale=args.scale,
+              seed=args.seed, jobs=args.jobs)
     wl = tuple(args.workloads) if args.workloads else None
     figures = FIGURES if args.figure == "all" else (args.figure,)
     for fig in figures:
         t0 = time.time()
+        c0 = (COUNTERS.memo_hits, COUNTERS.disk_hits, COUNTERS.simulated)
         print(f"=== {fig} ===")
         if fig == "fig2":
             out = report.render_fig2(experiments.fig2_motivation(
@@ -73,12 +117,21 @@ def main(argv=None) -> int:
         elif fig == "fig18":
             out = report.render_fig18(experiments.fig18_scaling(
                 workloads=wl or experiments.SWEEP_WORKLOADS,
-                core=args.core, scale=args.scale))
+                core=args.core, scale=args.scale, seed=args.seed,
+                jobs=args.jobs))
         elif fig == "fig19":
             out = report.render_fig19(experiments.fig19_energy_scatter(
                 workloads=wl or ALL_WORKLOADS, **kw))
         print(out)
-        print(f"[{fig} done in {time.time() - t0:.1f}s]\n")
+        memo, disk, sim = (
+            COUNTERS.memo_hits - c0[0],
+            COUNTERS.disk_hits - c0[1],
+            COUNTERS.simulated - c0[2],
+        )
+        print(
+            f"[{fig} done in {time.time() - t0:.1f}s; cache: "
+            f"{memo} memo hits, {disk} disk hits, {sim} simulated]\n",
+        )
     return 0
 
 

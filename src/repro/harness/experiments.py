@@ -5,6 +5,21 @@ returns a plain-data structure the report module renders. Every
 figure of the paper's evaluation has a function here; the pytest
 benchmarks under ``benchmarks/`` call them one-to-one.
 
+Every figure follows the same three-step shape:
+
+1. **enumerate** its independent ``(workload, config, core, geometry,
+   seed)`` points,
+2. **fan out** through :func:`~repro.harness.parallel.run_points`
+   (``jobs`` argument / ``REPRO_JOBS`` env; memo + disk cache), which
+   leaves every record in the runner's memo,
+3. **assemble** the figure from ``run_once`` calls, which are now all
+   cache hits.
+
+Because step 3 is the exact serial code path, a ``--jobs N`` run
+produces byte-identical reports to a serial one.  Figures that share
+points (e.g. Figure 13's SF rows feeding Figure 14) simulate them
+once per session — and, with the disk cache enabled, once ever.
+
 Defaults target the fast profile (4x4 mesh, capacity scale 16); pass
 ``cols/rows/scale`` for larger runs.
 """
@@ -15,7 +30,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.parallel import run_points
 from repro.harness.runner import RunRecord, run_once
+from repro.noc.message import TRAFFIC_CLASSES
 from repro.workloads import ALL_WORKLOADS
 
 FIG13_CONFIGS = ("base", "stride", "bingo", "ss", "sf")
@@ -51,9 +68,15 @@ class Fig2Row:
 def fig2_motivation(
     workloads: Sequence[str] = ALL_WORKLOADS,
     core: str = "ooo8",
+    jobs: Optional[int] = None,
     **kw,
 ) -> List[Fig2Row]:
     """Figure 2a/2b: run Base and classify L2 evictions/traffic."""
+    run_points(
+        [dict(workload=wl, config="base", core=core, **kw)
+         for wl in workloads],
+        jobs=jobs,
+    )
     rows = []
     for wl in workloads:
         rec = run_once(wl, "base", core=core, **kw)
@@ -62,7 +85,7 @@ def fig2_motivation(
         noreuse = s["l2.evictions_noreuse"]
         stream = s["l2.evictions_noreuse_stream"]
         flits_total = sum(
-            s.get(f"noc.flits.{k}") for k in ("ctrl", "data", "stream")
+            s.get(f"noc.flits.{k}") for k in TRAFFIC_CLASSES
         )
         nr_data = s["l2.noreuse_flits.data"]
         nr_ctrl = s["l2.noreuse_flits.ctrl"]
@@ -93,9 +116,17 @@ def fig13_speedup(
     workloads: Sequence[str] = ALL_WORKLOADS,
     cores: Sequence[str] = FIG13_CORES,
     configs: Sequence[str] = FIG13_CONFIGS,
+    jobs: Optional[int] = None,
     **kw,
 ) -> Dict[str, Dict[str, Dict[str, Fig13Cell]]]:
     """{core: {workload: {config: Fig13Cell}}} vs the same-core Base."""
+    run_points(
+        [dict(workload=wl, config=cfg, core=core, **kw)
+         for core in cores
+         for wl in workloads
+         for cfg in ("base",) + tuple(configs)],
+        jobs=jobs,
+    )
     out: Dict[str, Dict[str, Dict[str, Fig13Cell]]] = {}
     for core in cores:
         out[core] = {}
@@ -125,9 +156,15 @@ FIG14_SOURCES = ("core", "core_stream", "float_affine", "float_ind", "float_conf
 def fig14_requests(
     workloads: Sequence[str] = ALL_WORKLOADS,
     core: str = "ooo8",
+    jobs: Optional[int] = None,
     **kw,
 ) -> Dict[str, Dict[str, float]]:
     """{workload: {source: fraction of all L3 requests}} for SF."""
+    run_points(
+        [dict(workload=wl, config="sf", core=core, **kw)
+         for wl in workloads],
+        jobs=jobs,
+    )
     out = {}
     for wl in workloads:
         rec = run_once(wl, "sf", core=core, **kw)
@@ -168,8 +205,15 @@ def fig15_traffic(
     workloads: Sequence[str] = ALL_WORKLOADS,
     configs: Sequence[str] = FIG15_CONFIGS,
     core: str = "ooo8",
+    jobs: Optional[int] = None,
     **kw,
 ) -> List[Fig15Row]:
+    run_points(
+        [dict(workload=wl, config=cfg, core=core, **kw)
+         for wl in workloads
+         for cfg in ("base",) + tuple(configs)],
+        jobs=jobs,
+    )
     rows = []
     for wl in workloads:
         base = run_once(wl, "base", core=core, **kw)
@@ -198,9 +242,19 @@ def fig16_linkwidth(
     workloads: Sequence[str] = SWEEP_WORKLOADS,
     core: str = "ooo8",
     widths: Sequence[int] = FIG16_WIDTHS,
+    jobs: Optional[int] = None,
     **kw,
 ) -> Dict[str, Dict[Tuple[str, int], float]]:
     """{workload: {(config, width): speedup vs bingo at 128-bit}}."""
+    run_points(
+        [dict(workload=wl, config="bingo", core=core, link_bits=128, **kw)
+         for wl in workloads]
+        + [dict(workload=wl, config=cfg, core=core, link_bits=width, **kw)
+           for wl in workloads
+           for cfg in ("bingo", "sf")
+           for width in widths],
+        jobs=jobs,
+    )
     out = {}
     for wl in workloads:
         ref = run_once(wl, "bingo", core=core, link_bits=128, **kw)
@@ -226,9 +280,19 @@ def fig17_interleave(
     workloads: Sequence[str] = SWEEP_WORKLOADS,
     core: str = "ooo8",
     granularities: Sequence[int] = FIG17_GRANULARITIES,
+    jobs: Optional[int] = None,
     **kw,
 ) -> Dict[str, Dict[Tuple[str, int], float]]:
     """{workload: {(config, interleave): speedup vs bingo at 64B}}."""
+    run_points(
+        [dict(workload=wl, config="bingo", core=core, l3_interleave=64, **kw)
+         for wl in workloads]
+        + [dict(workload=wl, config=cfg, core=core, l3_interleave=gran, **kw)
+           for wl in workloads
+           for cfg in ("bingo", "sf")
+           for gran in granularities],
+        jobs=jobs,
+    )
     out = {}
     for wl in workloads:
         ref = run_once(wl, "bingo", core=core, l3_interleave=64, **kw)
@@ -260,11 +324,20 @@ def fig18_scaling(
     core: str = "ooo8",
     meshes: Sequence[Tuple[int, int]] = ((2, 2), (4, 4), (4, 8)),
     scale: int = 16,
+    jobs: Optional[int] = None,
     **kw,
 ) -> Dict[str, Dict[Tuple[int, int], Fig18Cell]]:
     """SF speedup over SS across mesh sizes (weak scaling: the
     workload scale shrinks as cores grow, keeping per-core work
     comparable, as in the paper's fixed-size strong-scaling spirit)."""
+    run_points(
+        [dict(workload=wl, config=cfg, core=core, cols=cols, rows=rows,
+              scale=scale, **kw)
+         for wl in workloads
+         for cols, rows in meshes
+         for cfg in ("ss", "sf")],
+        jobs=jobs,
+    )
     out = {}
     for wl in workloads:
         cells = {}
@@ -299,8 +372,18 @@ def fig19_energy_scatter(
     workloads: Sequence[str] = ALL_WORKLOADS,
     cores: Sequence[str] = FIG13_CORES,
     configs: Sequence[str] = ("base", "bingo", "ss", "sf"),
+    jobs: Optional[int] = None,
     **kw,
 ) -> List[Fig19Point]:
+    run_points(
+        [dict(workload=wl, config="base", core="io4", **kw)
+         for wl in workloads]
+        + [dict(workload=wl, config=cfg, core=core, **kw)
+           for core in cores
+           for cfg in configs
+           for wl in workloads],
+        jobs=jobs,
+    )
     points = []
     refs = {wl: run_once(wl, "base", core="io4", **kw) for wl in workloads}
     for core in cores:

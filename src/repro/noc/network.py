@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.noc.message import Packet
+from repro.noc.message import TRAFFIC_CLASSES, Packet
 from repro.noc.topology import Link, Mesh
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
@@ -190,7 +190,6 @@ class Network:
         if cycles <= 0:
             return 0.0
         flit_hops = sum(
-            self.stats.get(f"noc.flit_hops.{kind}")
-            for kind in ("ctrl", "data", "stream")
+            self.stats.get(f"noc.flit_hops.{kind}") for kind in TRAFFIC_CLASSES
         )
         return flit_hops / (self.mesh.num_links * cycles)

@@ -9,7 +9,7 @@ job (grouping, normalizing against a baseline) mechanical.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 
 class Stats:
@@ -69,6 +69,17 @@ class Stats:
     def as_dict(self) -> Dict[str, float]:
         return dict(self._values)
 
+    # Serialization (the disk run-cache stores stats as plain JSON).
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, float]) -> "Stats":
+        stats = cls()
+        for name, value in values.items():
+            stats._values[name] = value
+        return stats
+
     def dump(self) -> str:
         """Human-readable listing, one counter per line."""
         width = max((len(k) for k in self._values), default=0)
@@ -86,15 +97,28 @@ class Histogram:
         self._buckets: Dict[int, int] = defaultdict(int)
         self.count = 0
         self.sum = 0.0
-        self.min: float = float("inf")
-        self.max: float = float("-inf")
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
 
     def record(self, value: float) -> None:
         self._buckets[int(value) // self.bucket_size] += 1
         self.count += 1
         self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded value (0.0 while empty — never ±inf,
+        which would poison means and is not JSON-serializable)."""
+        return 0.0 if self._min is None else self._min
+
+    @property
+    def max(self) -> float:
+        """Largest recorded value (0.0 while empty)."""
+        return 0.0 if self._max is None else self._max
 
     @property
     def mean(self) -> float:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.mem.addr import NucaMap
 from repro.mem.dram import DramSystem
+from repro.noc.message import TRAFFIC_CLASSES
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
 from repro.sim.kernel import Simulator
@@ -39,20 +40,20 @@ class RunResult:
     @property
     def noc_flit_hops(self) -> float:
         return sum(
-            self.stats.get(f"noc.flit_hops.{k}") for k in ("ctrl", "data", "stream")
+            self.stats.get(f"noc.flit_hops.{k}") for k in TRAFFIC_CLASSES
         )
 
     @property
     def noc_flits(self) -> float:
         return sum(
-            self.stats.get(f"noc.flits.{k}") for k in ("ctrl", "data", "stream")
+            self.stats.get(f"noc.flits.{k}") for k in TRAFFIC_CLASSES
         )
 
     def traffic_breakdown(self) -> Dict[str, float]:
         """Flit-hops by traffic class (Figure 15's bands)."""
         return {
             kind: self.stats.get(f"noc.flit_hops.{kind}")
-            for kind in ("ctrl", "data", "stream")
+            for kind in TRAFFIC_CLASSES
         }
 
     def noc_utilization(self) -> float:

@@ -74,3 +74,39 @@ def test_histogram_basics():
 
 def test_histogram_empty_mean_is_zero():
     assert Histogram().mean == 0.0
+
+
+def test_histogram_empty_min_max_are_finite():
+    """Regression: an empty histogram read min/max as ±inf, which
+    poisoned means/report lines and is not JSON-serializable."""
+    import json
+    import math
+
+    h = Histogram()
+    assert h.min == 0.0
+    assert h.max == 0.0
+    assert math.isfinite(h.min) and math.isfinite(h.max)
+    # JSON round-trips (json.dumps(inf) emits the non-standard
+    # `Infinity`, rejected by strict parsers).
+    assert json.loads(json.dumps({"min": h.min, "max": h.max}))
+
+
+def test_histogram_min_max_track_after_records():
+    h = Histogram()
+    h.record(7)
+    assert (h.min, h.max) == (7, 7)
+    h.record(3)
+    h.record(40)
+    assert (h.min, h.max) == (3, 40)
+
+
+def test_stats_to_from_dict_roundtrip():
+    s = Stats()
+    s.add("noc.flits.data", 12)
+    s.set("l2.hits", 0.5)
+    restored = Stats.from_dict(s.to_dict())
+    assert restored.as_dict() == s.as_dict()
+    assert restored["noc.flits.data"] == 12
+    # The restored object is independent and still a working Stats.
+    restored.add("noc.flits.data", 1)
+    assert s["noc.flits.data"] == 12
