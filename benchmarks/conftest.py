@@ -36,9 +36,15 @@ PROFILE = dict(cols=4, rows=4, scale=16)
 
 
 def pytest_collection_modifyitems(items):
-    """Benchmarks are the slow tier; keep `-m "not slow"` meaningful."""
+    """Benchmarks are the slow tier; keep `-m "not slow"` meaningful.
+
+    They also opt out of the runtime invariant sanitizer (DESIGN.md
+    §7): figure timings must reflect the simulator's real cost, and
+    the tier-1 suite already runs every workload with it enabled.
+    """
     for item in items:
         item.add_marker(pytest.mark.slow)
+        item.add_marker(pytest.mark.no_sanitize)
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ byte-identical whatever ``--jobs`` is.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -62,17 +63,30 @@ def main(argv=None) -> int:
                              "~/.cache/repro-stream-floating)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk run cache")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable the runtime invariant sanitizer "
+                             "(sets REPRO_SANITIZE=1 for this run and "
+                             "its worker processes)")
     args = parser.parse_args(argv)
 
     configure_disk_cache(
         None if args.no_cache else (args.cache_dir or default_cache_dir())
     )
     parallel.set_progress(lambda line: print(line, file=sys.stderr))
+    from repro.sim.sanitizer import ENV_SANITIZE
+    prev_sanitize = os.environ.get(ENV_SANITIZE)
+    if args.sanitize:
+        os.environ[ENV_SANITIZE] = "1"
     try:
         return _run(args)
     finally:
         # main() is also called in-process by tests: restore the
         # module-global cache/progress configuration on the way out.
+        if args.sanitize:
+            if prev_sanitize is None:
+                os.environ.pop(ENV_SANITIZE, None)
+            else:
+                os.environ[ENV_SANITIZE] = prev_sanitize
         parallel.set_progress(None)
         reset_disk_cache()
 

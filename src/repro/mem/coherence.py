@@ -92,6 +92,13 @@ class DirEntry:
     def idle(self) -> bool:
         return not self.sharers and self.owner is None
 
+    def holders(self) -> Set[int]:
+        """All tiles the directory believes hold the line."""
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
 
 class Directory:
     """Sharer/owner tracking for the lines homed at one L3 bank."""
@@ -137,6 +144,10 @@ class Directory:
     def clear(self, addr: int) -> Optional[DirEntry]:
         """Forget the line entirely (LLC eviction); returns old entry."""
         return self._entries.pop(line_addr(addr), None)
+
+    def items(self):
+        """(line address, entry) pairs for every tracked line."""
+        return self._entries.items()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -64,6 +64,9 @@ class L1Cache:
         self.prefetcher = None  # L1 stride or Bingo, wired by the tile
         l2.on_l1_invalidate = self.invalidate
         l2.on_l1_downgrade = self.downgrade
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_l1(self)
 
     # ------------------------------------------------------------------
     def access(self, req: L1Request) -> None:
@@ -140,6 +143,13 @@ class L1Cache:
                     self._miss(waiter)
             self._drain_overflow()
             return
+        # The L2's grant may be stale: a downgrade or invalidation can
+        # land during the response latency window, after the L2 decided
+        # ``result.writable`` but before this fill runs. The writable
+        # hint must mirror the L2's *current* M/E state, or a store
+        # would silently dirty a shared line (a second writer).
+        l2_line = self.l2.array.lookup(base, touch=False)
+        writable = l2_line is not None and l2_line.state in (MODIFIED, EXCLUSIVE)
         if not self.array.contains(base):
             stream_id = None
             for waiter in entry.waiters:
@@ -151,23 +161,28 @@ class L1Cache:
             # even when a demand request merged into the same MSHR.
             # Inclusion guard: the L2 may have evicted the line during
             # the response latency window; don't fill the L1 then.
-            if not result.uncached and self.l2.array.contains(base):
+            if not result.uncached and l2_line is not None:
                 line, evicted = self.array.fill(
                     base, SHARED, now=self.sim.now,
                     prefetched=entry.is_prefetch_only,
                     stream_id=stream_id,
                     avoid=lambda a: self.mshr.lookup(a) is not None,
                 )
-                line.writable = result.writable
-                if entry.is_write:
+                line.writable = writable
+                if entry.is_write and writable:
                     line.dirty = True
                 if evicted is not None and evicted.dirty:
                     self._writeback_to_l2(evicted.addr)
         else:
             line = self.array.lookup(base, touch=False)
-            line.writable = line.writable or result.writable
-            if entry.is_write:
+            line.writable = writable
+            if entry.is_write and writable:
                 line.dirty = True
+        if entry.is_write and not writable and not result.uncached:
+            # Write permission was revoked while the response was in
+            # flight: retry the store as a background upgrade (GetX).
+            self.stats.add("l1.write_upgrade_retries")
+            self._miss(L1Request(addr=base, is_write=True))
         for waiter in entry.waiters:
             if waiter.on_done is not None:
                 self.sim.schedule(0, waiter.on_done)
@@ -183,7 +198,19 @@ class L1Cache:
 
     def _drain_overflow(self) -> None:
         while self._overflow and not self.mshr.full:
-            self._miss(self._overflow.pop(0))
+            req = self._overflow.pop(0)
+            base = line_addr(req.addr)
+            line = self.array.lookup(base)
+            if line is not None and (not req.is_write or line.writable):
+                # The line arrived while the request was parked.
+                self.stats.add("l1.hits")
+                line.uses += 1
+                if req.is_write:
+                    line.dirty = True
+                if req.on_done is not None:
+                    self.sim.schedule(self.latency, req.on_done)
+                continue
+            self._miss(req)
 
     def invalidate(self, addr: int) -> None:
         self.array.invalidate(line_addr(addr))

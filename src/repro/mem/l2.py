@@ -94,6 +94,9 @@ class L2Cache:
         self.prefetcher = None  # L2 stride prefetcher (trained on misses)
         self.bulk = None  # optional bulk-prefetch request grouper
         net.register(tile, "l2", self.handle)
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_l2(self)
 
     def _sp(self, name: str, amount: float = 1) -> None:
         self.stats.add(name, amount)

@@ -84,6 +84,9 @@ class L3Bank:
         # notifies it when GetU data it asked for becomes available.
         self.se_l3 = None
         net.register(tile, "l3", self.handle)
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_l3(self)
 
     # ------------------------------------------------------------------
     # entry points
@@ -361,7 +364,15 @@ class L3Bank:
         free = self.mshr.capacity - len(self.mshr)
         for _ in range(min(free, len(self._waitq))):
             src, msg = self._waitq.pop(0)
-            self.sim.schedule(0, self._process, src, msg)
+            self.sim.schedule(0, self._replay_parked, src, msg)
+
+    def _replay_parked(self, src: int, msg: CohMsg) -> None:
+        self._process(src, msg)
+        # The request may have completed without ever allocating an
+        # MSHR (the line arrived at the bank while it was parked, so it
+        # hit). No transaction completion will fire then, so keep
+        # draining here or the rest of the queue is stranded.
+        self._drain_waitq()
 
     def _put_m(self, src: int, msg: CohMsg) -> None:
         base = line_addr(msg.addr)

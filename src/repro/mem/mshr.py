@@ -67,6 +67,12 @@ class MshrFile:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def oldest_age(self, now: int) -> int:
+        """Age in cycles of the longest-outstanding entry (0 if empty)."""
+        if not self._entries:
+            return 0
+        return now - min(e.issued_cycle for e in self._entries.values())
+
     def outstanding(self) -> List[int]:
         """Line addresses with in-flight misses (test helper)."""
         return sorted(self._entries)

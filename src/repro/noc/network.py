@@ -60,6 +60,11 @@ class Network:
         self.hop_latency = router_stages + 1
         self._busy_until: Dict[Link, int] = {}
         self._handlers: Dict[Tuple[int, str], Handler] = {}
+        # The network is built before every endpoint, so registering
+        # here lets the sanitizer wrap all handlers as they attach.
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_network(self)
 
     # ------------------------------------------------------------------
     # wiring

@@ -1,7 +1,16 @@
 """Discrete-event simulation kernel, statistics and tracing."""
 
 from repro.sim.kernel import Simulator
+from repro.sim.sanitizer import Sanitizer, SanitizerError
 from repro.sim.stats import Histogram, Stats
 from repro.sim.trace import TraceEvent, Tracer
 
-__all__ = ["Simulator", "Stats", "Histogram", "Tracer", "TraceEvent"]
+__all__ = [
+    "Simulator",
+    "Sanitizer",
+    "SanitizerError",
+    "Stats",
+    "Histogram",
+    "Tracer",
+    "TraceEvent",
+]

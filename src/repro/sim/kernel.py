@@ -13,6 +13,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sim import sanitizer as _sanitizer
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -26,6 +28,9 @@ class Simulator:
         self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
         self._seq: int = 0
         self._events_executed: int = 0
+        # None unless REPRO_SANITIZE enables invariant checking; when
+        # attached, components register themselves at construction.
+        self.sanitizer = _sanitizer.maybe_attach(self)
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.

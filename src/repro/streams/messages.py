@@ -26,6 +26,9 @@ class FloatConfig:
     start_idx: int
     credits: int
     requester: int
+    # Incarnation counter: a stream sid may float, end, and float again;
+    # the epoch lets SE_L3s drop stale credits/ends from an earlier life.
+    epoch: int = 0
 
     def bits(self) -> int:
         return config_packet_bits([self.spec] + list(self.children))
@@ -40,6 +43,7 @@ class Migrate:
     next_idx: int
     credits: int
     requester: int
+    epoch: int = 0
 
     def bits(self) -> int:
         # Config fields plus the current iteration and credit count.
@@ -53,6 +57,7 @@ class EndStream:
 
     requester: int
     sid: int
+    epoch: int = 0
 
     def bits(self) -> int:
         return 16
@@ -75,6 +80,7 @@ class Credit:
     requester: int
     sid: int
     count: int
+    epoch: int = 0
 
     def bits(self) -> int:
         return 32

@@ -73,6 +73,9 @@ class BufferedStream:
     followers: Dict[int, Follower] = field(default_factory=dict)  # sid -> f
     consumed_leader: int = 0
     freed_through: int = 0
+    # Incarnation counter (a sid can sink and re-float): stamped on
+    # every config/credit/end message so SE_L3s can drop stale ones.
+    epoch: int = 0
 
     @property
     def sid(self) -> int:
@@ -111,9 +114,13 @@ class SEL2:
         self.stream_grain_coherence = stream_grain_coherence
         self.tlb = tlb or Tlb(entries=2048, hit_latency=8)
         self.streams: Dict[int, BufferedStream] = {}
+        self._epochs: Dict[int, int] = {}  # sid -> last float epoch
         self.se_core = None  # wired by SECore.__init__
         l2.se_l2 = self
         net.register(tile, "se_l2", self.handle)
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_se_l2(self)
 
     # ------------------------------------------------------------------
     # floating / termination (SE_core-facing)
@@ -128,10 +135,12 @@ class SEL2:
         )
         active = max(1, len(self.streams) + 1)
         capacity = max(2, self.buffer_bytes // granule // active)
+        epoch = self._epochs.get(spec.sid, 0) + 1
+        self._epochs[spec.sid] = epoch
         stream = BufferedStream(
             spec=spec, children=list(children),
             capacity=capacity, granted=start_idx + capacity,
-            start_idx=start_idx,
+            start_idx=start_idx, epoch=epoch,
         )
         stream.consumed_leader = start_idx
         stream.freed_through = start_idx
@@ -146,7 +155,7 @@ class SEL2:
         translate_cost = self.tlb.translate(first_addr)
         body = FloatConfig(
             spec=spec, children=list(children), start_idx=start_idx,
-            credits=capacity, requester=self.tile,
+            credits=capacity, requester=self.tile, epoch=epoch,
         )
         self.net.send(Packet(
             src=self.tile, dst=self.nuca.bank_of(first_addr), kind=STREAM,
@@ -201,7 +210,8 @@ class SEL2:
             # SS V-B disadvantage #2: deallocation messages to every
             # bank that still tracks this stream's range data.
             for bank in stream.visited_banks - {stream.last_bank}:
-                dealloc = EndStream(requester=self.tile, sid=sid)
+                dealloc = EndStream(requester=self.tile, sid=sid,
+                                    epoch=stream.epoch)
                 self.stats.add("se_l2.range_deallocs")
                 self.net.send(Packet(
                     src=self.tile, dst=bank, kind=STREAM,
@@ -211,7 +221,7 @@ class SEL2:
         # Send the end packet to the stream's current bank (tracked as
         # the source of its most recent data; SE_L3s forward if the
         # stream migrated meanwhile) — SS IV-A.
-        body = EndStream(requester=self.tile, sid=sid)
+        body = EndStream(requester=self.tile, sid=sid, epoch=stream.epoch)
         self.net.send(Packet(
             src=self.tile, dst=stream.last_bank, kind=STREAM,
             payload_bits=body.bits(), dst_port="se_l3", body=body,
@@ -402,7 +412,8 @@ class SEL2:
         grant = stream.pending_free
         stream.pending_free = 0
         stream.granted += grant
-        body = Credit(requester=self.tile, sid=stream.sid, count=grant)
+        body = Credit(requester=self.tile, sid=stream.sid, count=grant,
+                      epoch=stream.epoch)
         self.stats.add("se_l2.credits_sent")
         self.net.send(Packet(
             src=self.tile, dst=stream.last_bank,
@@ -455,10 +466,12 @@ class SEL2:
             window = list(stream.ready) + list(stream.waiters)
             for idx in window:
                 if line_addr(pat.address(idx)) == base:
+                    # Sink this stream, but keep scanning: several
+                    # buffered streams can alias the same line.
                     self.stats.add("se_l2.alias_sinks")
                     if self.se_core is not None:
                         self.se_core.history.record_alias(stream.sid)
                         core_stream = self.se_core.streams.get(stream.sid)
                         if core_stream is not None:
                             self.se_core._sink(core_stream)
-                    return
+                    break

@@ -63,6 +63,9 @@ class L3Stream:
     next_idx: int
     credits: int
     group: Optional["ConfluenceGroup"] = None
+    # Incarnation counter from the SE_L2 (a sid can sink and re-float);
+    # stale credits/ends from an earlier incarnation are dropped.
+    epoch: int = 0
 
     @property
     def key(self) -> StreamKey:
@@ -135,15 +138,19 @@ class SEL3:
         self.tlb = tlb or Tlb(entries=1024, hit_latency=2)
         self.streams: Dict[StreamKey, L3Stream] = {}
         self.groups: List[ConfluenceGroup] = []
-        # Streams that migrated away: key -> next bank (for forwarding
-        # late credits / end packets).
-        self.forwarding: Dict[StreamKey, int] = {}
-        # Credits that raced ahead of their stream's migration here.
-        self.pending_credits: Dict[StreamKey, int] = {}
+        # Streams that migrated away: key -> (next bank, epoch), for
+        # forwarding late credits / end packets of that incarnation.
+        self.forwarding: Dict[StreamKey, Tuple[int, int]] = {}
+        # Credits that raced ahead of their stream's migration here:
+        # key -> (epoch, count).
+        self.pending_credits: Dict[StreamKey, Tuple[int, int]] = {}
         self._rr: List[StreamKey] = []  # round-robin order
         self._pump_armed = False
         bank.se_l3 = self
         net.register(tile, "se_l3", self.handle)
+        san = getattr(sim, "sanitizer", None)
+        if san is not None:
+            san.watch_se_l3(self)
 
     # ------------------------------------------------------------------
     # network ingress
@@ -152,11 +159,12 @@ class SEL3:
         body = pkt.body
         if isinstance(body, FloatConfig):
             self._configure(body.spec, body.children, body.requester,
-                            body.start_idx, body.credits)
+                            body.start_idx, body.credits, body.epoch)
         elif isinstance(body, Migrate):
             self.stats.add("se_l3.migrations_in")
             self._configure(body.spec, body.children, body.requester,
-                            body.next_idx, body.credits)
+                            body.next_idx, body.credits, body.epoch,
+                            migrated=True)
         elif isinstance(body, Credit):
             self._credit(body)
         elif isinstance(body, EndStream):
@@ -176,18 +184,45 @@ class SEL3:
         requester: int,
         start_idx: int,
         credits: int,
+        epoch: int = 0,
+        migrated: bool = False,
     ) -> None:
-        if len(self.streams) >= self.max_streams:
+        key = (requester, spec.sid)
+        existing = self.streams.get(key)
+        if existing is not None and existing.epoch >= epoch:
+            # A Migrate from a superseded incarnation arrived after the
+            # sid was re-floated here: the old incarnation dies here.
+            self.stats.add("se_l3.stale_migrates")
+            return
+        fwd = self.forwarding.get(key)
+        if fwd is not None and fwd[1] > epoch:
+            # Likewise stale relative to a newer incarnation that
+            # already migrated through this bank.
+            self.stats.add("se_l3.stale_migrates")
+            return
+        if not migrated and len(self.streams) >= self.max_streams:
+            # Reject only fresh floats. A migrating stream already owns
+            # buffer and credit state at its requester; bouncing it
+            # would strand that state and deadlock the core.
             self.stats.add("se_l3.config_rejected")
             return
+        if existing is not None:
+            # Older incarnation still resident (its EndStream is still
+            # chasing it): replace it, keeping group/rotation clean.
+            self._drop(existing)
         stream = L3Stream(
             spec=spec, children=list(children), requester=requester,
-            next_idx=start_idx, credits=credits,
+            next_idx=start_idx, credits=credits, epoch=epoch,
         )
-        key = stream.key
         self.streams[key] = stream
-        self.forwarding.pop(key, None)
-        stream.credits += self.pending_credits.pop(key, 0)
+        if fwd is not None and fwd[1] == epoch:
+            # The stream returned to a bank it had left this epoch.
+            del self.forwarding[key]
+        pending = self.pending_credits.get(key)
+        if pending is not None and pending[0] <= epoch:
+            del self.pending_credits[key]
+            if pending[0] == epoch:
+                stream.credits += pending[1]
         self._rr.append(key)
         self.stats.add("se_l3.streams_configured")
         if self.confluence_enabled and not spec.is_indirect:
@@ -410,11 +445,11 @@ class SEL3:
     def _migrate(self, stream: L3Stream, next_addr: int) -> None:
         target = self.nuca.bank_of(next_addr)
         self._drop(stream)
-        self.forwarding[stream.key] = target
+        self.forwarding[stream.key] = (target, stream.epoch)
         body = Migrate(
             spec=stream.spec, children=stream.children,
             next_idx=stream.next_idx, credits=stream.credits,
-            requester=stream.requester,
+            requester=stream.requester, epoch=stream.epoch,
         )
         self.stats.add("se_l3.migrations_out")
         self.net.send(Packet(
@@ -439,31 +474,48 @@ class SEL3:
     def _credit(self, body: Credit) -> None:
         key = (body.requester, body.sid)
         stream = self.streams.get(key)
-        if stream is not None:
+        if stream is not None and stream.epoch == body.epoch:
             stream.credits += body.count
             self.stats.add("se_l3.credits_received")
             self._arm_pump()
             return
-        target = self.forwarding.get(key)
-        if target is not None:
+        if stream is not None and stream.epoch > body.epoch:
+            # Credit from a superseded incarnation: its stream is gone,
+            # the credit must not inflate the new one.
+            self.stats.add("se_l3.stale_credits")
+            return
+        fwd = self.forwarding.get(key)
+        if fwd is not None and fwd[1] == body.epoch:
             self.net.send(Packet(
-                src=self.tile, dst=target, kind=STREAM,
+                src=self.tile, dst=fwd[0], kind=STREAM,
                 payload_bits=body.bits(), dst_port="se_l3", body=body,
             ))
+        elif fwd is not None and fwd[1] > body.epoch:
+            self.stats.add("se_l3.stale_credits")
         else:
             # The credit raced ahead of the stream's migration to this
             # bank: hold it until the stream arrives.
-            self.pending_credits[key] = (
-                self.pending_credits.get(key, 0) + body.count
-            )
+            pending = self.pending_credits.get(key)
+            if pending is not None and pending[0] == body.epoch:
+                self.pending_credits[key] = (body.epoch,
+                                             pending[1] + body.count)
+            elif pending is None or pending[0] < body.epoch:
+                self.pending_credits[key] = (body.epoch, body.count)
+            else:
+                self.stats.add("se_l3.stale_credits")
+                return
             self.stats.add("se_l3.credits_held")
 
     def _end(self, body: EndStream) -> None:
         key = (body.requester, body.sid)
-        self.pending_credits.pop(key, None)
-        self.ranges.pop(key, None)
+        pending = self.pending_credits.get(key)
+        if pending is not None and pending[0] <= body.epoch:
+            del self.pending_credits[key]
         stream = self.streams.get(key)
-        if stream is not None:
+        if stream is None or stream.epoch <= body.epoch:
+            # Range data of a newer incarnation must survive an old end.
+            self.ranges.pop(key, None)
+        if stream is not None and stream.epoch == body.epoch:
             self._drop(stream)
             self.stats.add("se_l3.ends")
             ack = EndAck(sid=body.sid)
@@ -472,14 +524,22 @@ class SEL3:
                 payload_bits=ack.bits(), dst_port="se_l2", body=ack,
             ))
             return
-        target = self.forwarding.get(key)
-        if target is not None:
+        fwd = self.forwarding.get(key)
+        if fwd is not None and fwd[1] == body.epoch:
+            # Chase the migrated stream, reclaiming the breadcrumb as
+            # we pass (hop-by-hop cleanup of the forwarding chain).
+            del self.forwarding[key]
             self.net.send(Packet(
-                src=self.tile, dst=target, kind=STREAM,
+                src=self.tile, dst=fwd[0], kind=STREAM,
                 payload_bits=body.bits(), dst_port="se_l3", body=body,
             ))
         else:
-            # Unknown (already finished): ack so the SE_L2 moves on.
+            # Unknown here (already finished, or this EndStream is from
+            # a superseded incarnation whose stream a newer float
+            # replaced): ack so the SE_L2 moves on. Crucially a stale
+            # end must NOT kill the resident newer incarnation.
+            if stream is not None and stream.epoch > body.epoch:
+                self.stats.add("se_l3.stale_ends")
             ack = EndAck(sid=body.sid)
             self.net.send(Packet(
                 src=self.tile, dst=body.requester, kind=STREAM,
@@ -512,6 +572,7 @@ class SEL3:
             if stream is not None:
                 self._drop(stream)
             self.ranges.pop(key, None)
+            self.pending_credits.pop(key, None)
             body = StreamInv(sid=sid, addr=addr)
             self.net.send(Packet(
                 src=self.tile, dst=requester, kind=CTRL,
@@ -528,3 +589,4 @@ class SEL3:
             self._drop(stream)
         self.forwarding.clear()
         self.ranges.clear()
+        self.pending_credits.clear()

@@ -129,6 +129,12 @@ class Chip:
 
         # Drain stragglers (writebacks, in-flight prefetches).
         self.sim.run(max_events=self.MAX_EVENTS)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.final_check()
+            self.stats.set("sanitizer.trace_hash", san.trace_hash)
+            self.stats.set("sanitizer.trace_events", san.trace_events)
+            self.stats.set("sanitizer.violations", san.violations)
         self.stats.set("chip.cycles", finish_time)
         return RunResult(
             cycles=finish_time,

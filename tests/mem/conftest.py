@@ -19,7 +19,8 @@ from repro.sim import Simulator, Stats
 
 class MiniHierarchy:
     def __init__(self, cols=2, rows=2, interleave=64, l2_size=4096,
-                 l3_size=16 * 1024, l1_size=1024):
+                 l3_size=16 * 1024, l1_size=1024,
+                 l1_mshrs=8, l2_mshrs=16, l3_mshrs=16):
         self.sim = Simulator()
         self.stats = Stats()
         self.mesh = Mesh(cols, rows)
@@ -33,18 +34,18 @@ class MiniHierarchy:
             bank = L3Bank(
                 self.sim, self.net, self.stats, tile,
                 size_bytes=l3_size, ways=4, dram=self.dram,
-                replacement="lru", nuca=self.nuca,
+                replacement="lru", nuca=self.nuca, mshrs=l3_mshrs,
             )
             self.banks.append(bank)
             l2 = L2Cache(
                 self.sim, self.net, self.stats, tile,
                 size_bytes=l2_size, ways=4, nuca=self.nuca,
-                replacement="lru",
+                replacement="lru", mshrs=l2_mshrs,
             )
             self.l2s.append(l2)
             self.l1s.append(L1Cache(
                 self.sim, self.stats, tile, l2,
-                size_bytes=l1_size, ways=2,
+                size_bytes=l1_size, ways=2, mshrs=l1_mshrs,
             ))
 
     def read(self, tile, addr, results=None):

@@ -1,0 +1,122 @@
+"""Subline coalescing boundary tests (ISSUE 4 satellite).
+
+Sub-line-sized stream elements (e.g. a 4- or 16-byte index stream)
+coalesce into one GetU / one DataU per cache line in
+``se_l3._issue_one``; the SE_L2 unpacks the coalesced ``(start, end)``
+element range on arrival. These tests pin the boundary behaviour:
+ranges that end exactly at a line boundary, elements that must not
+coalesce across a line boundary, elements whose own span crosses a
+line, and coalescing clipped by the credit bound.
+"""
+
+from repro.noc.message import STREAM, Packet
+from repro.streams.isa import StreamSpec
+from repro.streams.messages import FloatConfig
+from repro.streams.pattern import AffinePattern
+from tests.streams.conftest import StreamRig
+
+BASE = 0x40_0000  # line- and interleave-aligned
+
+
+def subline_spec(sid, base, elems, elem=16):
+    return StreamSpec(sid=sid, pattern=AffinePattern(
+        base=base, strides=(elem,), lengths=(elems,), elem_size=elem,
+    ))
+
+
+def float_direct(rig, tile, spec, credits, start_idx=0):
+    """Inject a FloatConfig at the first element's home bank."""
+    bank = rig.nuca.bank_of(spec.pattern.address(start_idx))
+    body = FloatConfig(spec=spec, children=[], start_idx=start_idx,
+                       credits=credits, requester=tile)
+    rig.net.send(Packet(
+        src=tile, dst=bank, kind=STREAM, payload_bits=body.bits(),
+        dst_port="se_l3", body=body,
+    ))
+
+
+def test_range_ending_exactly_at_line_boundary(rig):
+    # Four 16-byte elements fill one 64-byte line exactly: a single
+    # coalesced GetU/DataU covers (0, 4) and nothing dangles into the
+    # next line.
+    spec = subline_spec(0, BASE, 4)
+    rig.se_l2s[0].float_stream(spec, 0, [])
+    rig.run()
+    assert rig.stats["se_l3.elements_issued"] == 4
+    assert rig.stats["l3.requests.stream_float"] == 1
+    assert rig.stats["se_l2.data_arrivals"] == 1
+    stream = rig.se_l2s[0].streams[0]
+    assert stream.ready == set(range(4))
+
+
+def test_elements_do_not_coalesce_across_line_boundary(rig):
+    # Eight aligned 16-byte elements span two lines: exactly two
+    # GetUs — (0, 4) and (4, 8) — never one range across the boundary.
+    spec = subline_spec(0, BASE, 8)
+    rig.se_l2s[0].float_stream(spec, 0, [])
+    rig.run()
+    assert rig.stats["se_l3.elements_issued"] == 8
+    assert rig.stats["l3.requests.stream_float"] == 2
+    assert rig.stats["se_l2.data_arrivals"] == 2
+    assert rig.se_l2s[0].streams[0].ready == set(range(8))
+
+
+def test_unaligned_range_spanning_two_lines(rig):
+    # Starting mid-line, the first coalesced range stops at the line
+    # boundary: elements 0-1 (line 0), 2-5 (line 1), 6-7 (line 2).
+    spec = subline_spec(0, BASE + 32, 8)
+    rig.se_l2s[0].float_stream(spec, 0, [])
+    rig.run()
+    assert rig.stats["se_l3.elements_issued"] == 8
+    assert rig.stats["l3.requests.stream_float"] == 3
+    assert rig.se_l2s[0].streams[0].ready == set(range(8))
+
+
+def test_element_spanning_line_boundary(rig):
+    # 48-byte elements at 0, 48, 96, 144: element 1 itself straddles
+    # the first line boundary. Coalescing keys on the element's start
+    # address: lines 0, 0, 1, 2 -> three GetUs.
+    spec = subline_spec(0, BASE, 4, elem=48)
+    rig.se_l2s[0].float_stream(spec, 0, [])
+    rig.run()
+    assert rig.stats["se_l3.elements_issued"] == 4
+    assert rig.stats["l3.requests.stream_float"] == 3
+    assert rig.se_l2s[0].streams[0].ready == set(range(4))
+
+
+def test_coalescing_clipped_by_credit_bound(rig):
+    # Only 2 credits for a 16-element subline stream: the first batch
+    # must stop at 2 elements even though 4 share the line.
+    float_direct(rig, tile=0, spec=subline_spec(0, BASE, 16), credits=2)
+    rig.run()
+    assert rig.stats["se_l3.elements_issued"] == 2
+    assert rig.stats["l3.requests.stream_float"] == 1
+
+
+def test_confluence_multicast_unpacks_coalesced_range():
+    # Two tiles float the same subline pattern: the confluence group
+    # multicasts one coalesced DataU per line and each SE_L2 unpacks
+    # the (start, end) range for its own stream.
+    rig = StreamRig(interleave=1024)
+    spec = subline_spec(0, BASE, 64)
+    for tile in (0, 1):
+        rig.se_l2s[tile].float_stream(spec, 0, [])
+    rig.run()
+    assert rig.stats["se_l3.confluences"] >= 1
+    assert rig.stats["se_l3.multicasts"] > 0
+    for tile in (0, 1):
+        assert rig.se_l2s[tile].streams[0].ready == set(range(64))
+
+
+def test_subline_stream_consumed_end_to_end(rig):
+    # Footprint 512 * 16B = 8 kB > the rig's 4 kB L2: floats at
+    # configure time. Every element is consumed through the intercept
+    # path and far fewer GetUs than elements were needed.
+    spec = subline_spec(0, BASE, 512)
+    rig.se_cores[0].configure([spec])
+    done = rig.consume_all(0, 0, 512)
+    rig.run()
+    assert len(done) == 512
+    assert rig.stats["se_l3.elements_issued"] >= 512
+    assert rig.stats["l3.requests.stream_float"] < 512
+    assert rig.stats["se_l3.completed"] >= 1

@@ -1,0 +1,152 @@
+"""Stream teardown bookkeeping tests (ISSUE 4 satellite).
+
+``se_l3._drop`` / ``_end`` / ``_migrate`` must not leak confluence
+group members, range-tracker entries, or credit-ledger state, and a
+stale EndStream from a superseded incarnation (a sid that sank and
+re-floated) must never kill the newer incarnation — the epoch field
+on FloatConfig/Migrate/EndStream/Credit exists for exactly that.
+"""
+
+from repro.noc.message import STREAM, Packet
+from repro.streams.messages import Credit, EndStream, FloatConfig
+from tests.streams.conftest import StreamRig, dense_spec
+
+BASE = 0x40_0000
+
+
+def send(rig, tile, dst, body, port="se_l3"):
+    rig.net.send(Packet(
+        src=tile, dst=dst, kind=STREAM, payload_bits=body.bits(),
+        dst_port=port, body=body,
+    ))
+
+
+def assert_no_leaks(rig):
+    for se3 in rig.se_l3s:
+        assert not se3.streams
+        assert not se3.pending_credits
+        assert not se3.ranges
+        for group in se3.groups:
+            assert group.members  # no empty husks kept around
+    for se2 in rig.se_l2s:
+        for stream in se2.streams.values():
+            assert not stream.waiters
+            assert not stream.child_waiters
+
+
+def test_end_mid_confluence_prunes_group():
+    rig = StreamRig(interleave=1024)
+    spec = dense_spec(0, BASE, 128)
+    for tile in (0, 1):
+        rig.se_l2s[tile].float_stream(spec, 0, [])
+    # Let the group form and stream some data, then end one member.
+    rig.sim.run(until=rig.sim.now + 400)
+    assert rig.stats["se_l3.confluences"] >= 1
+    rig.se_l2s[0].end_stream(0)
+    rig.run()
+    # The dead member is gone from every group; groups of one dissolve.
+    for se3 in rig.se_l3s:
+        for group in se3.groups:
+            assert len(group.members) >= 2
+            for member in group.members:
+                assert se3.streams.get(member.key) is member
+
+
+def test_migration_keeps_group_membership_consistent():
+    # 256B interleave: every stream migrates repeatedly; a migrated
+    # member must never linger in a group at the bank it left.
+    rig = StreamRig()
+    done = []
+    for tile in (0, 1):
+        # 128 * 64B = 8 kB > the rig's 4 kB L2: floats at configure.
+        rig.se_cores[tile].configure([dense_spec(0, BASE, 128)])
+        done.append(rig.consume_all(tile, 0, 128))
+    rig.run()
+    assert rig.stats["se_l3.migrations_out"] > 0
+    assert all(len(d) == 128 for d in done)
+    assert_no_leaks(rig)
+
+
+def test_stale_end_does_not_kill_new_incarnation(rig):
+    # Epoch-2 incarnation is resident; an EndStream from the dead
+    # epoch-1 incarnation arrives late. It must be acked (so the
+    # SE_L2 moves on) without touching the resident stream.
+    spec = dense_spec(0, BASE, 4)
+    bank = rig.nuca.bank_of(BASE)
+    send(rig, 0, bank, FloatConfig(spec=spec, children=[], start_idx=0,
+                                   credits=0, requester=0, epoch=2))
+    rig.run()
+    assert rig.se_l3s[bank].streams.get((0, 0)) is not None
+    send(rig, 0, bank, EndStream(requester=0, sid=0, epoch=1))
+    rig.run()
+    assert rig.stats["se_l3.stale_ends"] == 1
+    assert rig.stats["se_l2.end_acks"] == 1
+    stream = rig.se_l3s[bank].streams.get((0, 0))
+    assert stream is not None and stream.epoch == 2
+    # The matching end kills exactly that incarnation.
+    send(rig, 0, bank, EndStream(requester=0, sid=0, epoch=2))
+    rig.run()
+    assert rig.se_l3s[bank].streams.get((0, 0)) is None
+    assert rig.stats["se_l3.ends"] == 1
+
+
+def test_stale_credit_does_not_inflate_new_incarnation(rig):
+    spec = dense_spec(0, BASE, 64)
+    bank = rig.nuca.bank_of(BASE)
+    send(rig, 0, bank, FloatConfig(spec=spec, children=[], start_idx=0,
+                                   credits=0, requester=0, epoch=2))
+    rig.run()
+    send(rig, 0, bank, Credit(requester=0, sid=0, count=8, epoch=1))
+    rig.run()
+    assert rig.stats["se_l3.stale_credits"] == 1
+    assert rig.se_l3s[bank].streams[(0, 0)].credits == 0
+    assert rig.stats["se_l3.elements_issued"] == 0
+
+
+def test_sink_and_refloat_drains_clean(rig):
+    # End a partially-streamed sid and immediately re-float it: the
+    # old EndStream chases the old incarnation while the new config
+    # races it; everything must drain with the new incarnation whole.
+    spec = dense_spec(0, BASE, 32)
+    se2 = rig.se_l2s[0]
+    se2.float_stream(spec, 0, [])
+    rig.sim.run(until=rig.sim.now + 300)
+    se2.end_stream(0)
+    se2.float_stream(spec, 0, [])
+    rig.run()
+    assert se2.streams[0].epoch == 2
+    assert se2.streams[0].ready == set(range(32))
+    assert_no_leaks(rig)
+
+
+def test_check_write_clears_range_and_credit_ledger(rig):
+    # Stream-grain coherence mode: a conflicting write invalidates the
+    # stream AND forgets its range + parked credits (no ledger leak).
+    se3 = rig.se_l3s[0]
+    se3.stream_grain_coherence = True
+    key = (1, 0)
+    se3._track_range(key, BASE, 256)
+    se3.pending_credits[key] = (1, 4)
+    se3.check_write(BASE + 64, writer=2)
+    assert key not in se3.ranges
+    assert key not in se3.pending_credits
+    rig.run()
+    assert rig.stats["se_l3.stream_invalidations"] == 1
+
+
+def test_flush_floating_clears_all_ledgers(rig):
+    se3 = rig.se_l3s[0]
+    spec = dense_spec(0, BASE, 4)
+    bank = rig.nuca.bank_of(BASE)
+    assert bank == 0
+    send(rig, 1, 0, FloatConfig(spec=spec, children=[], start_idx=0,
+                                credits=0, requester=1, epoch=1))
+    rig.run()
+    se3.forwarding[(3, 9)] = (1, 1)
+    se3.pending_credits[(3, 8)] = (1, 2)
+    se3._track_range((1, 0), BASE, 256)
+    se3.flush_floating()
+    assert not se3.streams
+    assert not se3.forwarding
+    assert not se3.pending_credits
+    assert not se3.ranges
