@@ -31,7 +31,9 @@ from repro.harness.cache import default_cache_dir
 from repro.harness.runner import (
     COUNTERS,
     configure_disk_cache,
+    configure_telemetry,
     reset_disk_cache,
+    reset_telemetry,
 )
 from repro.workloads import ALL_WORKLOADS
 
@@ -67,18 +69,77 @@ def main(argv=None) -> int:
                         help="enable the runtime invariant sanitizer "
                              "(sets REPRO_SANITIZE=1 for this run and "
                              "its worker processes)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of "
+                             "request/stream lifecycle spans (open in "
+                             "Perfetto / chrome://tracing)")
+    parser.add_argument("--interval-stats", type=int, metavar="N",
+                        default=None,
+                        help="sample Stats deltas every N cycles "
+                             "(IPC, NoC util, L3 MPKI, streams alive)")
+    parser.add_argument("--interval-out", metavar="PATH", default=None,
+                        help="interval time-series output (default "
+                             "intervals.jsonl; .csv extension switches "
+                             "to CSV)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the event kernel (host time per "
+                             "callback) and report the top hot paths")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="kernel profile JSON output "
+                             "(default profile.json)")
     args = parser.parse_args(argv)
 
     configure_disk_cache(
         None if args.no_cache else (args.cache_dir or default_cache_dir())
     )
     parallel.set_progress(lambda line: print(line, file=sys.stderr))
+    from repro.obs.telemetry import ENV_INTERVAL, ENV_TELEMETRY
     from repro.sim.sanitizer import ENV_SANITIZE
     prev_sanitize = os.environ.get(ENV_SANITIZE)
     if args.sanitize:
         os.environ[ENV_SANITIZE] = "1"
+    pillars = []
+    if args.trace_out:
+        pillars.append("spans")
+    if args.interval_stats:
+        pillars.append("interval")
+    if args.profile:
+        pillars.append("profile")
+    prev_telemetry = os.environ.get(ENV_TELEMETRY)
+    prev_interval = os.environ.get(ENV_INTERVAL)
+    sink = None
+    if pillars:
+        from repro.obs.export import TelemetrySink
+
+        os.environ[ENV_TELEMETRY] = ",".join(pillars)
+        if args.interval_stats:
+            os.environ[ENV_INTERVAL] = str(args.interval_stats)
+        # Telemetry aggregates in-process; fan-out workers would lose
+        # their collected spans on exit.
+        if args.jobs not in (None, 1):
+            print("[telemetry] forcing --jobs 1 (telemetry runs "
+                  "in-process)", file=sys.stderr)
+        args.jobs = 1
+        sink = TelemetrySink(
+            trace_out=args.trace_out,
+            interval_out=args.interval_out or (
+                "intervals.jsonl" if args.interval_stats else None),
+            profile_out=args.profile_out or (
+                "profile.json" if args.profile else None),
+        )
+        configure_telemetry(sink)
     try:
-        return _run(args)
+        rc = _run(args)
+        if sink is not None:
+            if sink.points == 0:
+                print("[telemetry] no points simulated (all cache "
+                      "hits?) — artifacts will be empty; rerun with "
+                      "--no-cache to regenerate", file=sys.stderr)
+            for path in sink.write():
+                print(f"[telemetry] wrote {path}", file=sys.stderr)
+            if args.profile and sink.points:
+                print(sink.profile_report(), file=sys.stderr)
+        return rc
     finally:
         # main() is also called in-process by tests: restore the
         # module-global cache/progress configuration on the way out.
@@ -87,7 +148,17 @@ def main(argv=None) -> int:
                 os.environ.pop(ENV_SANITIZE, None)
             else:
                 os.environ[ENV_SANITIZE] = prev_sanitize
+        if pillars:
+            if prev_telemetry is None:
+                os.environ.pop(ENV_TELEMETRY, None)
+            else:
+                os.environ[ENV_TELEMETRY] = prev_telemetry
+            if prev_interval is None:
+                os.environ.pop(ENV_INTERVAL, None)
+            else:
+                os.environ[ENV_INTERVAL] = prev_interval
         parallel.set_progress(None)
+        reset_telemetry()
         reset_disk_cache()
 
 

@@ -43,6 +43,10 @@ class RunRecord:
     cycles: int
     stats: Stats
     energy: EnergyBreakdown
+    # Deterministic telemetry summary counters (span/sample/event
+    # totals) when the run simulated with REPRO_TELEMETRY on; None
+    # otherwise. Artifacts themselves go through the telemetry sink.
+    telemetry: Optional[Dict[str, float]] = None
 
     @property
     def key(self) -> Tuple:
@@ -95,6 +99,8 @@ class RunRecord:
         out["cycles"] = self.cycles
         out["stats"] = self.stats.to_dict()
         out["energy"] = self.energy.to_dict()
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
         return out
 
     @classmethod
@@ -112,6 +118,7 @@ class RunRecord:
             cycles=payload["cycles"],
             stats=Stats.from_dict(payload["stats"]),
             energy=EnergyBreakdown.from_dict(payload["energy"]),
+            telemetry=payload.get("telemetry"),
         )
 
 
@@ -213,6 +220,42 @@ def clear_cache() -> None:
     COUNTERS.reset()
 
 
+# Telemetry sink: when the CLI enables telemetry pillars it installs a
+# sink here (same explicit-beats-env pattern as the disk cache); the
+# runner hands it each fresh simulation's telemetry for aggregation.
+# Without a sink, REPRO_TELEMETRY_DIR (if set) gets per-point files.
+_OBS_SINK = None
+
+
+def configure_telemetry(sink) -> None:
+    """Install a :class:`repro.obs.export.TelemetrySink` (or None)."""
+    global _OBS_SINK
+    _OBS_SINK = sink
+
+
+def reset_telemetry() -> None:
+    global _OBS_SINK
+    _OBS_SINK = None
+
+
+def _export_telemetry(chip: Chip, params: Dict[str, Any]) -> Optional[Dict]:
+    """Collect a finished chip's telemetry into the sink (or the
+    env-dir fallback); returns the deterministic summary counters."""
+    tel = getattr(chip.sim, "telemetry", None)
+    if tel is None:
+        return None
+    if _OBS_SINK is not None:
+        _OBS_SINK.collect(tel, params)
+    else:
+        from repro.obs.export import export_point_artifacts, point_slug
+        from repro.obs.telemetry import ENV_TELEMETRY_DIR
+
+        out_dir = os.environ.get(ENV_TELEMETRY_DIR)
+        if out_dir:
+            export_point_artifacts(tel, out_dir, point_slug(params))
+    return tel.summary()
+
+
 def simulate(params: Dict[str, Any]) -> RunRecord:
     """Run one point, bypassing every cache layer."""
     system = make_config(
@@ -228,8 +271,10 @@ def simulate(params: Dict[str, Any]) -> RunRecord:
     )
     result: RunResult = chip.run(programs)
     energy = EnergyModel().evaluate(result.stats, result.cycles, system)
+    telemetry = _export_telemetry(chip, params)
     return RunRecord(
-        cycles=result.cycles, stats=result.stats, energy=energy, **params,
+        cycles=result.cycles, stats=result.stats, energy=energy,
+        telemetry=telemetry, **params,
     )
 
 

@@ -42,6 +42,9 @@ class DramController:
         self.cycles_per_line = cycles_per_line
         self._busy_until = 0
         net.register(tile, "dram", self.handle)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_dram(self)
 
     def handle(self, pkt: Packet) -> None:
         msg: CohMsg = pkt.body

@@ -67,6 +67,9 @@ class L1Cache:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_l1(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_l1(self)
 
     # ------------------------------------------------------------------
     def access(self, req: L1Request) -> None:

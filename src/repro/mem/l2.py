@@ -97,6 +97,9 @@ class L2Cache:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_l2(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_l2(self)
 
     def _sp(self, name: str, amount: float = 1) -> None:
         self.stats.add(name, amount)

@@ -87,6 +87,9 @@ class L3Bank:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_l3(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_l3(self)
 
     # ------------------------------------------------------------------
     # entry points

@@ -65,6 +65,9 @@ class Network:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_network(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_network(self)
 
     # ------------------------------------------------------------------
     # wiring

@@ -1,0 +1,77 @@
+"""Kernel hot-path profiler: wall-clock per event-callback owner.
+
+The telemetry step hook peeks the queue head before dispatch and
+times the dispatch with ``perf_counter``; this module aggregates
+``(count, seconds)`` per callback *owner* — the ``__qualname__`` of
+the scheduled function, which for bound methods reads
+``L3Bank._process`` etc. Sanitizer/telemetry wrappers preserve the
+inner ``__qualname__``, so attribution stays on the component even
+when checking or tracing layers wrap the callable.
+
+Wall-clock numbers are host-dependent by nature; they are reported in
+the ``--profile`` artifact but deliberately kept out of Stats and the
+run cache so cached records stay byte-identical across hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class KernelProfiler:
+    """Aggregates host time and event counts per callback qualname."""
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, List[float]] = {}  # name -> [count, seconds]
+        self.events = 0
+
+    def record(self, fn: Any, seconds: float) -> None:
+        name = getattr(fn, "__qualname__", repr(fn))
+        slot = self._acc.get(name)
+        if slot is None:
+            slot = self._acc[name] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += seconds
+        self.events += 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(slot[1] for slot in self._acc.values())
+
+    def top(self, n: int = 20) -> List[Dict[str, float]]:
+        """Top-``n`` callbacks by cumulative host seconds."""
+        rows = [
+            {
+                "callback": name,
+                "events": slot[0],
+                "seconds": round(slot[1], 6),
+                "us_per_event": round(slot[1] / slot[0] * 1e6, 3),
+            }
+            for name, slot in self._acc.items()
+        ]
+        rows.sort(key=lambda r: (-r["seconds"], r["callback"]))
+        return rows[:n]
+
+    def payload(self, n: int = 20) -> Dict[str, Any]:
+        """JSON-ready artifact body (schema in DESIGN.md §8)."""
+        return {
+            "events": self.events,
+            "callbacks": len(self._acc),
+            "total_seconds": round(self.total_seconds, 6),
+            "top": self.top(n),
+        }
+
+    def report(self, n: int = 20) -> str:
+        """Human-readable top-N table."""
+        lines = [
+            f"kernel profile: {self.events} events over "
+            f"{self.total_seconds:.3f}s host time",
+            f"{'callback':<40} {'events':>10} {'seconds':>10} "
+            f"{'us/event':>10}",
+        ]
+        for row in self.top(n):
+            lines.append(
+                f"{row['callback']:<40} {row['events']:>10} "
+                f"{row['seconds']:>10.3f} {row['us_per_event']:>10.3f}"
+            )
+        return "\n".join(lines)

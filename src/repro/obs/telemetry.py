@@ -1,0 +1,565 @@
+"""Unified telemetry layer: the event bus and component hooks.
+
+``Telemetry`` is the observability counterpart of
+:class:`~repro.sim.sanitizer.Sanitizer` and follows the same
+attachment contract: when enabled (``REPRO_TELEMETRY`` environment
+variable, the harness's ``--trace-out`` / ``--interval-stats`` /
+``--profile`` flags, or an explicit ``Telemetry(sim, config)`` call)
+it hangs off the shared :class:`~repro.sim.kernel.Simulator` and
+components self-register at construction::
+
+    tel = getattr(sim, "telemetry", None)
+    if tel is not None:
+        tel.watch_l1(self)
+
+When disabled the hooks cost nothing: ``sim.telemetry`` is ``None``,
+no method is wrapped, and no per-event guard exists anywhere.
+
+The layer has three pillars, each independently enabled by
+:class:`TelemetryConfig` (DESIGN.md §8):
+
+- **spans** (:mod:`repro.obs.spans`): request-lifecycle spans for
+  core loads/stores, floated-stream elements, and floated-stream
+  lifetimes, exportable as Chrome trace-event JSON;
+- **interval** (:mod:`repro.obs.interval`): a time-series sampler
+  snapshotting Stats deltas every N cycles;
+- **profile** (:mod:`repro.obs.profiler`): a host-side profiler
+  attributing wall-clock and event counts per event callback.
+
+Underneath the pillars sits a typed publish/subscribe **event bus**:
+the wrapped component methods ``publish`` :class:`BusEvent` records
+(kind, cycle, tile, human detail, structured data) and any number of
+consumers ``subscribe`` per kind — the span collector, the interval
+sampler's gauges and :class:`~repro.sim.trace.Tracer` are all plain
+subscribers. Publishing with no subscriber for the kind is a
+dictionary miss and an integer increment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+ENV_TELEMETRY = "REPRO_TELEMETRY"
+ENV_INTERVAL = "REPRO_TELEMETRY_INTERVAL"
+ENV_TELEMETRY_DIR = "REPRO_TELEMETRY_DIR"
+
+_OFF_VALUES = ("", "0", "off", "false", "no")
+_ALL_VALUES = ("1", "on", "true", "yes", "all")
+
+PILLARS = ("spans", "interval", "profile")
+
+DEFAULT_INTERVAL = 10_000
+
+# Every kind the instrumented components publish. The first six match
+# the Tracer's historical vocabulary exactly (sim/trace.py).
+KINDS = (
+    "float", "sink", "migrate", "confluence", "credit", "end",
+    "l1_miss", "l1_fill", "l2_miss", "l2_data", "l3_demand",
+    "getu", "datau", "dram", "noc",
+)
+
+
+@dataclass
+class TelemetryConfig:
+    """Which pillars are active, and their bounds.
+
+    A config with every pillar off is still useful: the event bus and
+    component hooks run, which is what the Tracer needs.
+    """
+
+    spans: bool = False
+    interval: int = 0  # sampling period in cycles; 0 disables
+    profile: bool = False
+    max_spans: int = 200_000  # open+closed span cap (drops counted)
+    max_noc_events: int = 20_000  # exported NoC flow arrows cap
+
+
+def enabled_by_env() -> bool:
+    """Is ``REPRO_TELEMETRY`` set to a truthy value?"""
+    return os.environ.get(ENV_TELEMETRY, "").strip().lower() not in _OFF_VALUES
+
+
+def config_from_env() -> Optional[TelemetryConfig]:
+    """Parse ``REPRO_TELEMETRY`` (``1``/``all`` or a comma list of
+    pillars) plus ``REPRO_TELEMETRY_INTERVAL`` into a config."""
+    raw = os.environ.get(ENV_TELEMETRY, "").strip().lower()
+    if raw in _OFF_VALUES:
+        return None
+    if raw in _ALL_VALUES:
+        enabled = set(PILLARS)
+    else:
+        enabled = {p.strip() for p in raw.split(",") if p.strip()}
+        unknown = enabled - set(PILLARS)
+        if unknown:
+            raise ValueError(
+                f"{ENV_TELEMETRY} names unknown pillars {sorted(unknown)}; "
+                f"valid: {PILLARS} (or 1/all)"
+            )
+    interval = 0
+    if "interval" in enabled:
+        interval = int(os.environ.get(ENV_INTERVAL, str(DEFAULT_INTERVAL)))
+    return TelemetryConfig(
+        spans="spans" in enabled,
+        interval=interval,
+        profile="profile" in enabled,
+    )
+
+
+def maybe_attach(sim) -> Optional["Telemetry"]:
+    """Attach a telemetry layer to ``sim`` iff the environment asks."""
+    config = config_from_env()
+    if config is not None:
+        return Telemetry(sim, config)
+    return None
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One published telemetry event."""
+
+    kind: str
+    cycle: int
+    tile: int
+    detail: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Telemetry:
+    """The per-simulator telemetry hub (bus + pillars + hooks)."""
+
+    _WATCH_FLAG = "_obs_watched"
+
+    def __init__(self, sim, config: Optional[TelemetryConfig] = None) -> None:
+        from repro.obs.interval import IntervalSampler
+        from repro.obs.profiler import KernelProfiler
+        from repro.obs.spans import SpanCollector
+
+        self.sim = sim
+        sim.telemetry = self
+        self.config = config or TelemetryConfig()
+        self._subs: Dict[str, List[Callable[[BusEvent], None]]] = {}
+        self.bus_events = 0
+        # Gauge: floated streams currently alive, as (tile, sid) pairs
+        # (maintained on the bus path so every pillar can read it).
+        self._alive: Set[Tuple[int, Optional[int]]] = set()
+        self.spans: Optional[SpanCollector] = (
+            SpanCollector(self, self.config) if self.config.spans else None
+        )
+        self.sampler: Optional[IntervalSampler] = (
+            IntervalSampler(self.config.interval, alive=lambda: len(self._alive))
+            if self.config.interval > 0 else None
+        )
+        self.profiler: Optional[KernelProfiler] = (
+            KernelProfiler() if self.config.profile else None
+        )
+        if self.sampler is not None or self.profiler is not None:
+            self._install_step_hook()
+
+    # ------------------------------------------------------------------
+    # event bus
+    # ------------------------------------------------------------------
+    def subscribe(self, kind: str, handler: Callable[[BusEvent], None]) -> None:
+        """Register ``handler`` for every published event of ``kind``."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown telemetry kind {kind!r}")
+        self._subs.setdefault(kind, []).append(handler)
+
+    def publish(self, kind: str, tile: int, detail: str = "", **data: Any) -> None:
+        """Publish one event to every subscriber of ``kind``."""
+        self.bus_events += 1
+        # Floated-stream gauge bookkeeping (set ops are idempotent, so
+        # sink-then-end double closes are harmless).
+        if kind == "float":
+            self._alive.add((tile, data.get("sid")))
+        elif kind == "sink":
+            self._alive.discard((tile, data.get("sid")))
+        elif kind == "end":
+            self._alive.discard((data.get("requester", tile), data.get("sid")))
+        subs = self._subs.get(kind)
+        if not subs:
+            return
+        event = BusEvent(
+            kind=kind, cycle=self.sim.now, tile=tile, detail=detail, data=data,
+        )
+        for handler in subs:
+            handler(event)
+
+    @property
+    def streams_alive(self) -> int:
+        return len(self._alive)
+
+    # ------------------------------------------------------------------
+    # kernel heartbeat (profiler attribution + interval cadence)
+    # ------------------------------------------------------------------
+    def _install_step_hook(self) -> None:
+        from time import perf_counter
+
+        sim = self.sim
+        inner_step = sim.step
+        profiler = self.profiler
+        sampler = self.sampler
+
+        def step() -> bool:
+            if profiler is not None:
+                queue = sim._queue
+                fn = queue[0][2] if queue else None
+                t0 = perf_counter()
+                ran = inner_step()
+                if fn is not None:
+                    profiler.record(fn, perf_counter() - t0)
+            else:
+                ran = inner_step()
+            if sampler is not None:
+                sampler.on_step(sim.now)
+            return ran
+
+        step.__qualname__ = getattr(inner_step, "__qualname__", "Simulator.step")
+        sim.step = step
+
+    # ------------------------------------------------------------------
+    # component hooks (sanitizer-style constructor registration)
+    # ------------------------------------------------------------------
+    def _claim(self, obj: Any) -> bool:
+        """True exactly once per object — guards double wrapping when a
+        component registered at construction is later adopt()-ed."""
+        if getattr(obj, self._WATCH_FLAG, None) is self:
+            return False
+        setattr(obj, self._WATCH_FLAG, self)
+        return True
+
+    @staticmethod
+    def _line(addr: int) -> int:
+        from repro.mem.addr import line_addr
+
+        return line_addr(addr)
+
+    def watch_network(self, net) -> None:
+        """Publish a ``noc`` event per delivery scheduling: carries the
+        injection cycle (now) and the arrival cycle, which is exactly
+        the pair a Chrome-trace flow arrow needs."""
+        if not self._claim(net):
+            return
+        tel = self
+        inner = net._deliver_at
+
+        def deliver_at(when: int, packet) -> None:
+            tel.publish(
+                "noc", tile=packet.src,
+                detail=f"{packet.kind} -> {packet.dst}:{packet.dst_port}",
+                dst=packet.dst, port=packet.dst_port, cls=packet.kind,
+                pid=packet.pid, arrive=when,
+            )
+            inner(when, packet)
+
+        deliver_at.__qualname__ = getattr(inner, "__qualname__", "Network._deliver_at")
+        net._deliver_at = deliver_at
+
+    def watch_l1(self, l1) -> None:
+        if not self._claim(l1):
+            return
+        tel = self
+        inner_miss = l1._miss
+
+        def miss(req) -> None:
+            base = tel._line(req.addr)
+            fresh = l1.mshr.lookup(base) is None
+            inner_miss(req)
+            tel.publish(
+                "l1_miss", tile=l1.tile, detail=f"{base:#x}",
+                addr=base, write=req.is_write, prefetch=req.prefetch,
+                fresh=fresh, sid=req.stream_id,
+            )
+
+        miss.__qualname__ = getattr(inner_miss, "__qualname__", "L1Cache._miss")
+        l1._miss = miss
+        inner_fill = l1._fill
+
+        def fill(base: int, result) -> None:
+            inner_fill(base, result)
+            tel.publish("l1_fill", tile=l1.tile, detail=f"{base:#x}", addr=base)
+
+        fill.__qualname__ = getattr(inner_fill, "__qualname__", "L1Cache._fill")
+        l1._fill = fill
+
+    def watch_l2(self, l2) -> None:
+        if not self._claim(l2):
+            return
+        tel = self
+        inner_miss = l2._miss
+
+        def miss(req, line) -> None:
+            base = tel._line(req.addr)
+            fresh = l2.mshr.lookup(base) is None
+            inner_miss(req, line)
+            tel.publish(
+                "l2_miss", tile=l2.tile, detail=f"{base:#x}",
+                addr=base, write=req.is_write, prefetch=req.prefetch,
+                fresh=fresh,
+            )
+
+        miss.__qualname__ = getattr(inner_miss, "__qualname__", "L2Cache._miss")
+        l2._miss = miss
+        inner_data = l2._data
+
+        def data(pkt, msg) -> None:
+            inner_data(pkt, msg)
+            base = tel._line(msg.addr)
+            tel.publish(
+                "l2_data", tile=l2.tile, detail=f"{base:#x}",
+                addr=base, src=pkt.src,
+            )
+
+        data.__qualname__ = getattr(inner_data, "__qualname__", "L2Cache._data")
+        l2._data = data
+
+    def watch_l3(self, bank) -> None:
+        if not self._claim(bank):
+            return
+        tel = self
+        inner_demand = bank._demand
+
+        def demand(src: int, msg) -> None:
+            inner_demand(src, msg)
+            tel.publish(
+                "l3_demand", tile=bank.tile,
+                detail=f"{msg.op} {tel._line(msg.addr):#x}",
+                addr=tel._line(msg.addr), op=msg.op,
+                requester=msg.requester,
+            )
+
+        demand.__qualname__ = getattr(inner_demand, "__qualname__", "L3Bank._demand")
+        bank._demand = demand
+        inner_read = bank.stream_read
+
+        def stream_read(addr: int, requester: int, **kwargs) -> None:
+            tel.publish(
+                "getu", tile=bank.tile,
+                detail=f"sid {kwargs.get('stream_id')} "
+                       f"elem {kwargs.get('element')}",
+                addr=tel._line(addr), requester=requester,
+                sid=kwargs.get("stream_id"), element=kwargs.get("element"),
+                category=kwargs.get("category", "float_affine"),
+            )
+            inner_read(addr, requester, **kwargs)
+
+        stream_read.__qualname__ = getattr(
+            inner_read, "__qualname__", "L3Bank.stream_read"
+        )
+        bank.stream_read = stream_read
+
+    @staticmethod
+    def _wrap_port(net, tile: int, port: str, make) -> None:
+        """Wrap the handler the network holds for ``(tile, port)``.
+
+        ``handle`` methods reached *through the network* must be
+        wrapped in the registration table — the network dispatches the
+        callable it stored, so patching the instance attribute after
+        ``net.register`` ran would never fire. Wrapping the stored
+        entry also composes with the sanitizer's own handler wrapper.
+        """
+        key = (tile, port)
+        inner = net._handlers.get(key)
+        if inner is None:
+            return
+        wrapped = make(inner)
+        wrapped.__qualname__ = getattr(
+            inner, "__qualname__", f"handler[{tile},{port}]"
+        )
+        net._handlers[key] = wrapped
+
+    def watch_dram(self, ctrl) -> None:
+        if not self._claim(ctrl):
+            return
+        tel = self
+
+        def make(inner):
+            def handle(pkt) -> None:
+                body = pkt.body
+                inner(pkt)
+                tel.publish(
+                    "dram", tile=ctrl.tile,
+                    detail=f"{body.op} {body.addr:#x}",
+                    addr=tel._line(body.addr), op=body.op,
+                )
+            return handle
+
+        self._wrap_port(ctrl.net, ctrl.tile, "dram", make)
+
+    def watch_se_core(self, se) -> None:
+        if not self._claim(se):
+            return
+        tel = self
+        inner_float = se._float
+
+        def float_(stream) -> None:
+            was = stream.floating
+            inner_float(stream)
+            if not was and stream.floating:
+                tel.publish(
+                    "float", tile=se.tile,
+                    detail=f"sid {stream.sid} @elem {stream.float_start}",
+                    sid=stream.sid, elem=stream.float_start,
+                )
+
+        float_.__qualname__ = getattr(inner_float, "__qualname__", "SECore._float")
+        se._float = float_
+        inner_sink = se._sink
+
+        def sink(stream) -> None:
+            was = stream.floating
+            inner_sink(stream)
+            if was and not stream.floating:
+                tel.publish(
+                    "sink", tile=se.tile, detail=f"sid {stream.sid}",
+                    sid=stream.sid,
+                )
+
+        sink.__qualname__ = getattr(inner_sink, "__qualname__", "SECore._sink")
+        se._sink = sink
+
+    def watch_se_l2(self, se) -> None:
+        if not self._claim(se):
+            return
+        tel = self
+
+        def make(inner):
+            def handle(pkt) -> None:
+                body = pkt.body
+                inner(pkt)
+                # DataU arrivals only (EndAck/StreamInv have no element).
+                element = getattr(body, "element", None)
+                if element is None:
+                    return
+                sid = body.stream_id
+                if isinstance(body.se_info, list):
+                    for tile, member_sid in body.se_info:
+                        if tile == se.tile:
+                            sid = member_sid
+                            break
+                tel.publish(
+                    "datau", tile=se.tile,
+                    detail=f"sid {sid} elem {element}",
+                    sid=sid, element=element, src=pkt.src,
+                )
+            return handle
+
+        self._wrap_port(se.net, se.tile, "se_l2", make)
+
+    def watch_se_l3(self, se3) -> None:
+        if not self._claim(se3):
+            return
+        tel = self
+        inner_migrate = se3._migrate
+
+        def migrate(stream, addr) -> None:
+            to_bank = se3.nuca.bank_of(addr)
+            tel.publish(
+                "migrate", tile=se3.tile,
+                detail=f"{stream.key} elem {stream.next_idx} -> bank {to_bank}",
+                requester=stream.requester, sid=stream.spec.sid,
+                elem=stream.next_idx, to_bank=to_bank, epoch=stream.epoch,
+            )
+            inner_migrate(stream, addr)
+
+        migrate.__qualname__ = getattr(inner_migrate, "__qualname__", "SEL3._migrate")
+        se3._migrate = migrate
+        inner_merge = se3._try_merge
+
+        def try_merge(stream) -> None:
+            inner_merge(stream)
+            if stream.group is not None:
+                tel.publish(
+                    "confluence", tile=se3.tile,
+                    detail=f"{stream.key} joined group of "
+                           f"{len(stream.group.members)}",
+                    requester=stream.requester, sid=stream.spec.sid,
+                    size=len(stream.group.members),
+                )
+
+        try_merge.__qualname__ = getattr(inner_merge, "__qualname__", "SEL3._try_merge")
+        se3._try_merge = try_merge
+        inner_credit = se3._credit
+
+        def credit(body) -> None:
+            tel.publish(
+                "credit", tile=se3.tile,
+                detail=f"({body.requester},{body.sid}) +{body.count}",
+                requester=body.requester, sid=body.sid, count=body.count,
+            )
+            inner_credit(body)
+
+        credit.__qualname__ = getattr(inner_credit, "__qualname__", "SEL3._credit")
+        se3._credit = credit
+        inner_end = se3._end
+
+        def end(body) -> None:
+            tel.publish(
+                "end", tile=se3.tile,
+                detail=f"({body.requester},{body.sid})",
+                requester=body.requester, sid=body.sid,
+            )
+            inner_end(body)
+
+        end.__qualname__ = getattr(inner_end, "__qualname__", "SEL3._end")
+        se3._end = end
+
+    def watch_chip(self, chip) -> None:
+        """Bind chip-level context (stats tree, mesh geometry) — what
+        the interval sampler needs to derive IPC / utilization."""
+        if self.sampler is not None:
+            self.sampler.bind(
+                chip.stats,
+                links=chip.mesh.num_links,
+                cores=chip.mesh.num_tiles,
+            )
+
+    # ------------------------------------------------------------------
+    # post-hoc adoption (Tracer, tests, bare rigs)
+    # ------------------------------------------------------------------
+    def adopt(self, chip) -> None:
+        """Install every hook on an already-built chip. Idempotent:
+        components that registered at construction are skipped."""
+        self.watch_network(chip.net)
+        for ctrl in chip.dram.controllers:
+            self.watch_dram(ctrl)
+        for tile in chip.tiles:
+            self.watch_l1(tile.l1)
+            self.watch_l2(tile.l2)
+            self.watch_l3(tile.l3)
+            if tile.se_core is not None:
+                self.watch_se_core(tile.se_core)
+            if tile.se_l2 is not None:
+                self.watch_se_l2(tile.se_l2)
+            if tile.se_l3 is not None:
+                self.watch_se_l3(tile.se_l3)
+        self.watch_chip(chip)
+
+    # ------------------------------------------------------------------
+    # run completion
+    # ------------------------------------------------------------------
+    def finalize(self, stats=None) -> None:
+        """Flush pillar state at the end of a run; publish summary
+        counters into ``stats`` (all deterministic — no wall clock)."""
+        if self.sampler is not None:
+            self.sampler.flush(self.sim.now)
+        if stats is not None:
+            for name, value in self.summary().items():
+                stats.set(f"telemetry.{name}", value)
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic run-level counters (recorded alongside the
+        run cache in :class:`~repro.harness.runner.RunRecord`)."""
+        out: Dict[str, float] = {"bus_events": self.bus_events}
+        if self.spans is not None:
+            out["spans_opened"] = self.spans.opened
+            out["spans_closed"] = self.spans.closed
+            out["spans_dropped"] = self.spans.dropped
+            out["noc_events"] = len(self.spans.noc_events)
+            out["noc_dropped"] = self.spans.noc_dropped
+        if self.sampler is not None:
+            out["interval_samples"] = len(self.sampler.samples)
+        if self.profiler is not None:
+            out["profiled_events"] = self.profiler.events
+        return out

@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import telemetry as _telemetry
 from repro.sim import sanitizer as _sanitizer
 
 
@@ -31,6 +32,10 @@ class Simulator:
         # None unless REPRO_SANITIZE enables invariant checking; when
         # attached, components register themselves at construction.
         self.sanitizer = _sanitizer.maybe_attach(self)
+        # Same contract for the telemetry layer (REPRO_TELEMETRY).
+        # The sanitizer attaches first so its step hook sits closest
+        # to the kernel and hashes the same event stream either way.
+        self.telemetry = _telemetry.maybe_attach(self)
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.

@@ -21,19 +21,23 @@ class Stats:
     """
 
     def __init__(self) -> None:
-        self._values: Dict[str, float] = defaultdict(float)
+        # A plain dict: reads must never insert keys. The previous
+        # defaultdict let maximize/get materialize a 0 baseline as a
+        # read side-effect, so a first *negative* maximize was lost.
+        self._values: Dict[str, float] = {}
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._values[name] += amount
+        self._values[name] = self._values.get(name, 0) + amount
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter ``name``."""
         self._values[name] = value
 
     def maximize(self, name: str, value: float) -> None:
-        """Keep the maximum seen value in ``name``."""
-        if value > self._values[name]:
+        """Keep the maximum *seen* value in ``name`` — the first value
+        always records, even when negative."""
+        if name not in self._values or value > self._values[name]:
             self._values[name] = value
 
     def get(self, name: str, default: float = 0) -> float:
@@ -61,7 +65,7 @@ class Stats:
     def merge(self, other: "Stats") -> None:
         """Add every counter from ``other`` into this object."""
         for name, value in other._values.items():
-            self._values[name] += value
+            self._values[name] = self._values.get(name, 0) + value
 
     def items(self) -> Iterator[Tuple[str, float]]:
         return iter(sorted(self._values.items()))
@@ -130,3 +134,47 @@ class Histogram:
             (bucket * self.bucket_size, count)
             for bucket, count in self._buckets.items()
         )
+
+    def percentile(self, p: float) -> float:
+        """Value at the ``p``-th percentile (0..100), resolved at
+        bucket granularity: the inclusive upper edge of the bucket
+        holding the ``ceil(count * p / 100)``-th sample, clamped to
+        the recorded min/max. Empty histograms read 0.0."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        if p == 0:
+            return self.min
+        rank = max(1, -(-self.count * p // 100))  # ceil without math
+        seen = 0
+        for bucket, count in sorted(self._buckets.items()):
+            seen += count
+            if seen >= rank:
+                upper = (bucket + 1) * self.bucket_size - 1
+                return min(max(float(upper), self.min), self.max)
+        return self.max  # unreachable, defensive
+
+    # Serialization (interval snapshots / span latency distributions
+    # ride in the disk run-cache next to Stats).
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bucket_size": self.bucket_size,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self._min,
+            "max": self._max,
+            # JSON object keys are strings; store raw bucket indices.
+            "buckets": {str(b): c for b, c in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Histogram":
+        hist = cls(bucket_size=int(payload["bucket_size"]))
+        hist.count = int(payload["count"])
+        hist.sum = float(payload["sum"])
+        hist._min = payload.get("min")
+        hist._max = payload.get("max")
+        for bucket, count in payload.get("buckets", {}).items():
+            hist._buckets[int(bucket)] = int(count)
+        return hist

@@ -1,7 +1,7 @@
 """Event tracing: lightweight instrumentation for debugging runs.
 
-A :class:`Tracer` hooks a chip's components and records typed events
-(stream floats/sinks/migrations, NoC sends, cache misses) with
+A :class:`Tracer` records typed stream-protocol events (floats,
+sinks, migrations, confluence joins, credits, terminations) with
 timestamps, bounded by a ring buffer. It is what we used while
 bringing the protocol up, promoted to a supported tool::
 
@@ -11,6 +11,12 @@ bringing the protocol up, promoted to a supported tool::
     for ev in tracer.events:
         print(ev)
     print(tracer.summary())
+
+Since the telemetry layer (:mod:`repro.obs`) landed, the Tracer is a
+plain subscriber on its event bus rather than a second monkey-patching
+layer: it attaches (or reuses) a :class:`~repro.obs.telemetry.Telemetry`
+on the chip's simulator and subscribes to the requested kinds. Build
+it *after* the chip and *before* ``run``, as before.
 """
 
 from __future__ import annotations
@@ -38,8 +44,7 @@ class Tracer:
 
     ``kinds`` limits what is recorded (None = everything):
     ``float``, ``sink``, ``migrate``, ``confluence``, ``credit``,
-    ``end``. Hooks are installed by wrapping the relevant methods, so
-    building a Tracer *after* the chip and *before* ``run``.
+    ``end``.
     """
 
     KINDS = ("float", "sink", "migrate", "confluence", "credit", "end")
@@ -55,82 +60,22 @@ class Tracer:
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._install()
 
-    def _want(self, kind: str) -> bool:
-        return self.kinds is None or kind in self.kinds
-
-    def _record(self, kind: str, tile: int, detail: str) -> None:
-        self.events.append(TraceEvent(
-            cycle=self.chip.sim.now, kind=kind, tile=tile, detail=detail,
-        ))
-
     def _install(self) -> None:
-        for tile in self.chip.tiles:
-            if tile.se_core is not None:
-                self._wrap_se_core(tile.se_core, tile.tile_id)
-            if tile.se_l3 is not None:
-                self._wrap_se_l3(tile.se_l3, tile.tile_id)
+        from repro.obs.telemetry import Telemetry, TelemetryConfig
 
-    def _wrap_se_core(self, se, tile_id: int) -> None:
-        if self._want("float"):
-            orig_float = se._float
+        tel = self.chip.sim.telemetry
+        if tel is None:
+            # Bus-only attach: no pillars, no step hook — just the
+            # component hooks publishing events.
+            tel = Telemetry(self.chip.sim, TelemetryConfig())
+        tel.adopt(self.chip)
+        for kind in (self.kinds or self.KINDS):
+            tel.subscribe(kind, self._on_event)
 
-            def traced_float(stream, _orig=orig_float):
-                was = stream.floating
-                _orig(stream)
-                if not was and stream.floating:
-                    self._record("float", tile_id,
-                                 f"sid {stream.sid} @elem {stream.float_start}")
-            se._float = traced_float
-        if self._want("sink"):
-            orig_sink = se._sink
-
-            def traced_sink(stream, _orig=orig_sink):
-                was = stream.floating
-                _orig(stream)
-                if was and not stream.floating:
-                    self._record("sink", tile_id, f"sid {stream.sid}")
-            se._sink = traced_sink
-
-    def _wrap_se_l3(self, se3, tile_id: int) -> None:
-        if self._want("migrate"):
-            orig = se3._migrate
-
-            def traced_migrate(stream, addr, _orig=orig):
-                self._record(
-                    "migrate", tile_id,
-                    f"{stream.key} elem {stream.next_idx} -> bank "
-                    f"{se3.nuca.bank_of(addr)}",
-                )
-                _orig(stream, addr)
-            se3._migrate = traced_migrate
-        if self._want("confluence"):
-            orig_merge = se3._try_merge
-
-            def traced_merge(stream, _orig=orig_merge):
-                _orig(stream)
-                if stream.group is not None:
-                    self._record(
-                        "confluence", tile_id,
-                        f"{stream.key} joined group of "
-                        f"{len(stream.group.members)}",
-                    )
-            se3._try_merge = traced_merge
-        if self._want("credit"):
-            orig_credit = se3._credit
-
-            def traced_credit(body, _orig=orig_credit):
-                self._record("credit", tile_id,
-                             f"({body.requester},{body.sid}) +{body.count}")
-                _orig(body)
-            se3._credit = traced_credit
-        if self._want("end"):
-            orig_end = se3._end
-
-            def traced_end(body, _orig=orig_end):
-                self._record("end", tile_id,
-                             f"({body.requester},{body.sid})")
-                _orig(body)
-            se3._end = traced_end
+    def _on_event(self, ev) -> None:
+        self.events.append(TraceEvent(
+            cycle=ev.cycle, kind=ev.kind, tile=ev.tile, detail=ev.detail,
+        ))
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

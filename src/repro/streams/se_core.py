@@ -105,6 +105,9 @@ class SECore:
         self.streams: Dict[int, CoreStream] = {}
         if se_l2 is not None:
             se_l2.se_core = self
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_se_core(self)
 
     # ------------------------------------------------------------------
     # configuration (stream_cfg / stream_end)

@@ -121,6 +121,9 @@ class SEL2:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_se_l2(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_se_l2(self)
 
     # ------------------------------------------------------------------
     # floating / termination (SE_core-facing)

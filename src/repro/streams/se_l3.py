@@ -151,6 +151,9 @@ class SEL3:
         san = getattr(sim, "sanitizer", None)
         if san is not None:
             san.watch_se_l3(self)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_se_l3(self)
 
     # ------------------------------------------------------------------
     # network ingress

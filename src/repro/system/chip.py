@@ -88,6 +88,9 @@ class Chip:
                  self.nuca, self.mesh, self.dram)
             for t in range(self.mesh.num_tiles)
         ]
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.watch_chip(self)
 
     @property
     def num_cores(self) -> int:
@@ -135,6 +138,9 @@ class Chip:
             self.stats.set("sanitizer.trace_hash", san.trace_hash)
             self.stats.set("sanitizer.trace_events", san.trace_events)
             self.stats.set("sanitizer.violations", san.violations)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.finalize(self.stats)
         self.stats.set("chip.cycles", finish_time)
         return RunResult(
             cycles=finish_time,

@@ -70,3 +70,75 @@ def test_cli_rejects_unknown_figure():
 def test_cli_rejects_unknown_core():
     with pytest.raises(SystemExit):
         main(["fig2", "--core", "pentium"])
+
+
+# ----------------------------------------------------------------------
+# telemetry flags (--trace-out / --interval-stats / --profile)
+# ----------------------------------------------------------------------
+def test_cli_telemetry_artifacts(tmp_path, capsys):
+    """One run with all three pillars produces the three artifacts,
+    and restores the telemetry env on the way out."""
+    import json
+    import os
+
+    from repro.obs.telemetry import ENV_INTERVAL, ENV_TELEMETRY
+
+    trace = tmp_path / "run.trace.json"
+    intervals = tmp_path / "run.intervals.jsonl"
+    profile = tmp_path / "run.profile.json"
+    rc = main([
+        "fig2", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "nn", "--no-cache",
+        "--trace-out", str(trace),
+        "--interval-stats", "5000", "--interval-out", str(intervals),
+        "--profile", "--profile-out", str(profile),
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+
+    payload = json.load(open(trace))
+    events = payload["traceEvents"]
+    assert events
+    assert {e["ph"] for e in events} <= {"X", "M", "s", "f"}
+    assert any(e["ph"] == "X" for e in events)
+
+    lines = [json.loads(line) for line in open(intervals)]
+    assert lines
+    assert {"point", "cycle", "ipc", "noc_util", "l3_mpki"} <= set(lines[0])
+
+    prof = json.load(open(profile))
+    assert prof["points"]
+    assert prof["points"][0]["top"]
+    assert "== nn-base-ooo8-2x2-s64 ==" in err
+    assert "us/event" in err
+    for path in (trace, intervals, profile):
+        assert f"wrote {path}" in err
+
+    # main() restores the environment for in-process callers.
+    assert ENV_TELEMETRY not in os.environ
+    assert ENV_INTERVAL not in os.environ
+
+
+def test_cli_telemetry_forces_serial(tmp_path, capsys):
+    rc = main([
+        "fig2", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "nn", "--no-cache", "--jobs", "4",
+        "--trace-out", str(tmp_path / "t.trace.json"),
+    ])
+    assert rc == 0
+    assert "forcing --jobs 1" in capsys.readouterr().err
+
+
+def test_cli_telemetry_warns_on_all_cache_hits(tmp_path, capsys):
+    """Cached points never simulate, so telemetry has nothing to
+    collect — the CLI must say so instead of writing silently empty
+    artifacts."""
+    base = [
+        "fig2", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "nn", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(base) == 0  # warm the disk cache
+    capsys.readouterr()
+    clear_cache()
+    assert main(base + ["--trace-out", str(tmp_path / "t.trace.json")]) == 0
+    assert "no points simulated" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Interval sampler tests: cadence, deltas, derived rates, writers."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.export import write_intervals
+from repro.obs.interval import IntervalSampler
+from repro.obs.telemetry import ENV_INTERVAL, ENV_TELEMETRY
+from repro.sim.stats import Stats
+
+
+def test_period_must_be_positive():
+    with pytest.raises(ValueError):
+        IntervalSampler(0)
+
+
+def test_samples_deltas_not_totals():
+    stats = Stats()
+    sampler = IntervalSampler(100)
+    sampler.bind(stats, links=8, cores=4)
+    stats.add("core.ops", 500)
+    stats.add("l3.misses", 5)
+    sampler.on_step(100)
+    stats.add("core.ops", 300)
+    stats.add("l3.misses", 1)
+    sampler.on_step(200)
+    assert len(sampler.samples) == 2
+    first, second = sampler.samples
+    assert first["core_ops"] == 500 and second["core_ops"] == 300
+    assert first["ipc"] == 5.0 and second["ipc"] == 3.0
+    assert first["l3_mpki"] == 10.0
+    assert second["l3_mpki"] == pytest.approx(1 / 0.3)
+
+
+def test_sampler_skips_idle_gaps():
+    stats = Stats()
+    sampler = IntervalSampler(100)
+    sampler.bind(stats, links=1, cores=1)
+    sampler.on_step(50)
+    assert not sampler.samples  # period not reached yet
+    sampler.on_step(1050)  # one event after a long idle stretch
+    assert len(sampler.samples) == 1  # no backlog of empty samples
+    assert sampler.samples[0]["cycle"] == 1050
+    sampler.on_step(1100)
+    assert len(sampler.samples) == 2
+
+
+def test_flush_emits_partial_tail():
+    stats = Stats()
+    sampler = IntervalSampler(1000)
+    sampler.bind(stats, links=1, cores=1)
+    stats.add("core.ops", 10)
+    sampler.on_step(400)
+    assert not sampler.samples
+    sampler.flush(400)
+    assert len(sampler.samples) == 1
+    assert sampler.samples[0]["dcycles"] == 400
+    sampler.flush(400)  # idempotent at the same cycle
+    assert len(sampler.samples) == 1
+
+
+def test_noc_util_uses_link_count():
+    stats = Stats()
+    sampler = IntervalSampler(10)
+    sampler.bind(stats, links=4, cores=1)
+    stats.add("noc.flit_hops.data", 20)
+    sampler.on_step(10)
+    assert sampler.samples[0]["noc_util"] == 20 / (4 * 10)
+
+
+def test_streams_alive_gauge_is_sampled():
+    stats = Stats()
+    alive = {"n": 3}
+    sampler = IntervalSampler(10, alive=lambda: alive["n"])
+    sampler.bind(stats, links=1, cores=1)
+    sampler.on_step(10)
+    alive["n"] = 1
+    sampler.on_step(20)
+    assert [s["streams_alive"] for s in sampler.samples] == [3, 1]
+
+
+def test_unbound_sampler_never_samples():
+    sampler = IntervalSampler(10)
+    sampler.on_step(1000)
+    sampler.flush(1000)
+    assert sampler.samples == []
+
+
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+def _two_samples():
+    stats = Stats()
+    sampler = IntervalSampler(10)
+    sampler.bind(stats, links=2, cores=2)
+    stats.add("core.ops", 5)
+    sampler.on_step(10)
+    stats.add("core.ops", 7)
+    sampler.on_step(20)
+    return [{"point": "p", **s} for s in sampler.samples]
+
+
+def test_jsonl_writer(tmp_path):
+    path = write_intervals(str(tmp_path / "iv.jsonl"), _two_samples())
+    lines = [json.loads(line) for line in open(path)]
+    assert len(lines) == 2
+    assert lines[0]["point"] == "p"
+    assert lines[1]["core_ops"] == 7
+    for col in IntervalSampler.columns():
+        assert col in lines[0]
+
+
+def test_csv_writer(tmp_path):
+    path = write_intervals(str(tmp_path / "iv.csv"), _two_samples())
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert rows[0]["point"] == "p"
+    assert float(rows[1]["core_ops"]) == 7
+
+
+def test_interval_pillar_end_to_end(monkeypatch):
+    """A chip run with the interval pillar on produces samples whose
+    totals reconcile with the final Stats."""
+    monkeypatch.setenv(ENV_TELEMETRY, "interval")
+    monkeypatch.setenv(ENV_INTERVAL, "5000")
+    from repro.harness.runner import clear_cache, simulate, run_params
+
+    try:
+        record = simulate(run_params(workload="nn", config="base",
+                                     cols=2, rows=2, scale=64))
+    finally:
+        clear_cache()
+    assert record.telemetry["interval_samples"] > 1

@@ -1,5 +1,7 @@
 """Tests for the statistics tree."""
 
+import pytest
+
 from repro.sim import Histogram, Stats
 
 
@@ -110,3 +112,79 @@ def test_stats_to_from_dict_roundtrip():
     # The restored object is independent and still a working Stats.
     restored.add("noc.flits.data", 1)
     assert s["noc.flits.data"] == 12
+
+
+def test_maximize_records_first_negative_value():
+    """Regression: the defaultdict backing store materialized a 0 on
+    the comparison read, so a first *negative* maximize was lost
+    (e.g. a slack/credit watermark that starts below zero)."""
+    s = Stats()
+    s.maximize("slack.min_headroom", -7)
+    assert "slack.min_headroom" in s
+    assert s["slack.min_headroom"] == -7
+    s.maximize("slack.min_headroom", -9)
+    assert s["slack.min_headroom"] == -7
+    s.maximize("slack.min_headroom", 2)
+    assert s["slack.min_headroom"] == 2
+
+
+def test_reads_have_no_side_effects():
+    """get / [] / contains / maximize must never insert keys."""
+    s = Stats()
+    assert s["phantom"] == 0
+    assert s.get("phantom") == 0
+    assert "phantom" not in s
+    assert s.as_dict() == {}
+
+
+def test_histogram_percentile():
+    h = Histogram(bucket_size=10)
+    for v in range(100):  # 0..99, one per value
+        h.record(v)
+    assert h.percentile(0) == 0
+    assert h.percentile(50) == 49  # upper edge of the 40..49 bucket
+    assert h.percentile(100) == 99
+    # Small p lands in the first bucket.
+    assert h.percentile(1) == 9
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_histogram_percentile_clamps_to_recorded_range():
+    h = Histogram(bucket_size=100)
+    h.record(3)
+    h.record(5)
+    # Bucket upper edge is 99, but no recorded value exceeds 5.
+    assert h.percentile(99) == 5
+    assert h.percentile(0) == 3
+
+
+def test_histogram_percentile_empty_is_zero():
+    assert Histogram().percentile(50) == 0.0
+
+
+def test_histogram_dict_roundtrip():
+    h = Histogram(bucket_size=8)
+    for v in (1, 7, 9, 63, 64):
+        h.record(v)
+    restored = Histogram.from_dict(h.to_dict())
+    assert restored.bucket_size == h.bucket_size
+    assert restored.count == h.count
+    assert restored.sum == h.sum
+    assert (restored.min, restored.max) == (h.min, h.max)
+    assert restored.buckets() == h.buckets()
+    assert restored.percentile(50) == h.percentile(50)
+    # JSON-safe: survives an actual dumps/loads cycle.
+    import json
+
+    again = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+    assert again.buckets() == h.buckets()
+
+
+def test_histogram_empty_dict_roundtrip():
+    restored = Histogram.from_dict(Histogram().to_dict())
+    assert restored.count == 0
+    assert restored.min == 0.0 and restored.max == 0.0
+    assert restored.percentile(50) == 0.0
