@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Kernel benchmark: dispatch throughput + end-to-end figure points.
+
+Writes ``BENCH_kernel.json`` at the repo root (or ``--out``). The
+committed copy is the performance baseline CI's bench-smoke job diffs
+against: the S5 determinism hash per figure point must match exactly,
+and events/sec must not regress by more than 20%.
+
+Two measurement sections:
+
+``kernel_stress``
+    Pure scheduler throughput (events/sec) for each backend — a storm
+    of self-rescheduling actors, no simulation model attached — at
+    several queue depths. This isolates what the calendar queue
+    replaced: heap push/pop is O(log n) against the ring's O(1), so
+    the ratio grows with depth (~2.3x shallow, >3x at 32k actors).
+
+``figure_points``
+    Full fast-profile (4x4, scale 16) simulation points. Each point
+    runs twice: a *hash pass* with the sanitizer attached (recording
+    the S5 trace hash that pins determinism across kernel changes)
+    and a *perf pass* without it (wall-clock, events executed,
+    events/sec — the numbers a simulation user actually sees).
+
+``seed_baseline`` embeds the pre-PR numbers (heap kernel, pre-slot-
+array memory system) measured on the same machine class, so the JSON
+carries its own trajectory: ``speedup_vs_seed`` per point.
+
+Usage::
+
+    python benchmarks/bench_kernel.py            # full run
+    python benchmarks/bench_kernel.py --quick    # CI smoke subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+# Fast-profile geometry (benchmarks/conftest.py PROFILE).
+PROFILE = dict(cols=4, rows=4, scale=16)
+
+# Pre-PR reference: heap kernel + dict-of-dict cache arrays, measured
+# at the seed commit with the sanitizer off on the same profile.
+SEED_BASELINE = {
+    "mv/sf": {"wall_s": 0.802, "events": 84145, "events_per_s": 104949},
+    "mv/base": {"wall_s": 0.839, "events": 86225, "events_per_s": 102826},
+    "conv3d/sf": {"wall_s": 0.458, "events": 48657, "events_per_s": 106158},
+    "bfs/sf": {"wall_s": 5.307, "events": 555791, "events_per_s": 104738},
+    "pathfinder/sf": {"wall_s": 3.085, "events": 279205, "events_per_s": 90491},
+    "hotspot/sf": {"wall_s": 3.678, "events": 332147, "events_per_s": 90311},
+}
+
+FULL_POINTS = ["mv/sf", "mv/base", "conv3d/sf", "bfs/sf",
+               "pathfinder/sf", "hotspot/sf"]
+QUICK_POINTS = ["mv/sf", "conv3d/sf"]
+
+STRESS_DEPTHS_FULL = [64, 1024, 8192, 32768]
+STRESS_DEPTHS_QUICK = [64, 1024]
+
+
+# ----------------------------------------------------------------------
+# section 1: raw scheduler throughput
+# ----------------------------------------------------------------------
+def stress_backend(backend: str, n_actors: int, target_events: int) -> Dict:
+    """Self-rescheduling actor storm; returns events/sec for one
+    backend. The horizon is sized so every depth runs a comparable
+    number of events."""
+    os.environ["REPRO_KERNEL"] = backend
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+
+    def tick(period: int) -> None:
+        sim.schedule(period, tick, period)
+
+    for i in range(n_actors):
+        sim.schedule(i % 7, tick, 1 + (i % 5))
+    # Each cycle runs ~n_actors * mean(1/period) events.
+    per_cycle = sum(1.0 / (1 + (i % 5)) for i in range(n_actors))
+    horizon = max(64, int(target_events / per_cycle))
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - t0
+    return {
+        "backend": backend,
+        "actors": n_actors,
+        "events": sim.events_executed,
+        "wall_s": round(wall, 4),
+        "events_per_s": int(sim.events_executed / wall),
+    }
+
+
+def run_stress(depths: List[int], target_events: int) -> List[Dict]:
+    rows = []
+    for depth in depths:
+        heap = stress_backend("heap", depth, target_events)
+        cal = stress_backend("calendar", depth, target_events)
+        rows.append({
+            "actors": depth,
+            "heap_events_per_s": heap["events_per_s"],
+            "calendar_events_per_s": cal["events_per_s"],
+            "ratio": round(cal["events_per_s"] / heap["events_per_s"], 3),
+            "events": cal["events"],
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# section 2: end-to-end figure points
+# ----------------------------------------------------------------------
+def run_point(workload: str, config: str, hash_pass: bool) -> Dict:
+    """One fast-profile simulation; returns timing + determinism info.
+
+    The hash pass (sanitizer on) and the perf pass (sanitizer off) are
+    separate simulations: the sanitizer's step hook bypasses the
+    kernel's inline run loop, so timing with it attached would measure
+    the checker, not the simulator.
+    """
+    from repro.harness.runner import run_params, simulate
+
+    os.environ.pop("REPRO_KERNEL", None)  # default backend (calendar)
+    params = run_params(workload, config, **PROFILE)
+
+    trace_hash: Optional[int] = None
+    trace_events: Optional[int] = None
+    if hash_pass:
+        os.environ["REPRO_SANITIZE"] = "1"
+        rec = simulate(params)
+        trace_hash = int(rec.stats.get("sanitizer.trace_hash"))
+        trace_events = int(rec.stats.get("sanitizer.trace_events"))
+        assert rec.stats.get("sanitizer.violations", 0) == 0
+
+    os.environ["REPRO_SANITIZE"] = "0"
+    # Time via the chip directly: the harness's RunRecord drops the
+    # simulator, and events_executed lives there.
+    from repro.system.chip import Chip
+    from repro.system.configs import make_config
+    from repro.workloads.base import build_programs
+
+    system = make_config(
+        config, core=params["core"], cols=params["cols"],
+        rows=params["rows"], scale=params["scale"],
+        link_bits=params["link_bits"],
+        l3_interleave=params["l3_interleave"],
+    )
+    chip = Chip(system)
+    programs = build_programs(
+        workload, chip.num_cores, scale=params["scale"],
+        seed=params["seed"],
+    )
+    t0 = time.perf_counter()
+    result = chip.run(programs)
+    wall = time.perf_counter() - t0
+    events = chip.sim.events_executed
+    point = {
+        "workload": workload,
+        "config": config,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": int(events / wall),
+        "cycles": result.cycles,
+    }
+    if trace_hash is not None:
+        point["trace_hash"] = trace_hash
+        point["trace_events"] = trace_events
+    seed = SEED_BASELINE.get(f"{workload}/{config}")
+    if seed is not None:
+        point["seed_events_per_s"] = seed["events_per_s"]
+        point["speedup_vs_seed"] = round(
+            point["events_per_s"] / seed["events_per_s"], 3
+        )
+    return point
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke subset: fewer points, fewer depths")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default: repo-root "
+                         "BENCH_kernel.json)")
+    ap.add_argument("--no-hash", action="store_true",
+                    help="skip the sanitizer hash passes (perf only)")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_kernel.json: "
+                         "fail on any S5 trace-hash mismatch or a >20%% "
+                         "events/sec regression on a shared figure point")
+    args = ap.parse_args(argv)
+
+    points = QUICK_POINTS if args.quick else FULL_POINTS
+    depths = STRESS_DEPTHS_QUICK if args.quick else STRESS_DEPTHS_FULL
+    target = 300_000 if args.quick else 2_000_000
+
+    print(f"kernel stress ({len(depths)} depths)...")
+    stress = run_stress(depths, target)
+    for row in stress:
+        print(f"  actors={row['actors']:>6}: heap={row['heap_events_per_s']:>9,} "
+              f"calendar={row['calendar_events_per_s']:>9,} ev/s "
+              f"({row['ratio']}x)")
+
+    figure_points = []
+    for name in points:
+        workload, config = name.split("/")
+        print(f"figure point {name}...")
+        point = run_point(workload, config, hash_pass=not args.no_hash)
+        figure_points.append(point)
+        extra = (f"  {point['speedup_vs_seed']}x vs seed"
+                 if "speedup_vs_seed" in point else "")
+        print(f"  {point['wall_s']}s, {point['events']:,} events, "
+              f"{point['events_per_s']:,} ev/s{extra}")
+
+    out = {
+        "profile": PROFILE,
+        "quick": args.quick,
+        "kernel": "calendar",
+        "kernel_stress": stress,
+        "figure_points": figure_points,
+        "seed_baseline": SEED_BASELINE,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        return check_against(args.check, figure_points)
+    return 0
+
+
+REGRESSION_TOLERANCE = 0.20  # fail if events/sec drops more than this
+
+
+def check_against(baseline_path: str, figure_points: List[Dict]) -> int:
+    """CI gate: the S5 hash per shared point must match the committed
+    baseline exactly (determinism is not a tolerance band), and
+    events/sec must be within REGRESSION_TOLERANCE of it."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_points = {
+        f"{p['workload']}/{p['config']}": p
+        for p in baseline.get("figure_points", [])
+    }
+    failures = []
+    for point in figure_points:
+        name = f"{point['workload']}/{point['config']}"
+        base = base_points.get(name)
+        if base is None:
+            print(f"  [check] {name}: not in baseline, skipped")
+            continue
+        if "trace_hash" in point and "trace_hash" in base:
+            if point["trace_hash"] != base["trace_hash"]:
+                failures.append(
+                    f"{name}: S5 trace hash {point['trace_hash']} != "
+                    f"baseline {base['trace_hash']} (determinism broken)"
+                )
+            elif point.get("trace_events") != base.get("trace_events"):
+                failures.append(
+                    f"{name}: trace events {point.get('trace_events')} != "
+                    f"baseline {base.get('trace_events')}"
+                )
+        floor = base["events_per_s"] * (1 - REGRESSION_TOLERANCE)
+        if point["events_per_s"] < floor:
+            failures.append(
+                f"{name}: {point['events_per_s']:,} ev/s is >"
+                f"{int(REGRESSION_TOLERANCE * 100)}% below baseline "
+                f"{base['events_per_s']:,}"
+            )
+        else:
+            print(f"  [check] {name}: hash ok, "
+                  f"{point['events_per_s']:,} ev/s vs baseline "
+                  f"{base['events_per_s']:,} (floor {int(floor):,})")
+    if failures:
+        for f in failures:
+            print(f"  [check] FAIL {f}", file=sys.stderr)
+        return 1
+    print("  [check] all points pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

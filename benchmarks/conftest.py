@@ -47,6 +47,55 @@ def pytest_collection_modifyitems(items):
         item.add_marker(pytest.mark.no_sanitize)
 
 
+# Telemetry summary counters are the only telemetry state that may
+# reach a RunRecord (and hence the persistent run cache). All of them
+# are deterministic event/sample counts; host wall-clock must never
+# appear here or cached results would differ run to run.
+_DETERMINISTIC_TELEMETRY_KEYS = {
+    "telemetry.bus_events",
+    "telemetry.spans_opened",
+    "telemetry.spans_closed",
+    "telemetry.spans_dropped",
+    "telemetry.noc_events",
+    "telemetry.noc_dropped",
+    "telemetry.interval_samples",
+    "telemetry.profiled_events",
+}
+
+
+@pytest.fixture(autouse=True)
+def _bench_profile_mode(request, monkeypatch):
+    """``pytest benchmarks/ --profile``: attach the telemetry kernel
+    profiler to every simulation in the run (sanitizer stays off —
+    the ``no_sanitize`` marker above already guarantees that), so
+    slow figures can be attributed to event types without rerunning
+    under cProfile. Without the flag, telemetry stays detached and
+    timings measure the bare simulator.
+    """
+    if request.config.getoption("--profile"):
+        monkeypatch.setenv("REPRO_TELEMETRY", "profile")
+    else:
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    yield
+    # Either way, host time must never leak into cached run records:
+    # the run cache is keyed on simulation parameters only, so a
+    # wall-clock-derived stat would go stale (and poison baseline
+    # diffs) silently. Telemetry publishes only deterministic counts.
+    from repro.harness import runner
+
+    for record in runner._MEMO.values():
+        for key, value in record.stats.as_dict().items():
+            if key.startswith("telemetry."):
+                assert key in _DETERMINISTIC_TELEMETRY_KEYS, (
+                    f"unexpected telemetry stat {key!r} in a cached run "
+                    "record — is it host-time derived?"
+                )
+                assert value == int(value), (
+                    f"{key} = {value!r} is not an integral count; "
+                    "host time must not reach the run cache"
+                )
+
+
 @pytest.fixture(scope="session")
 def profile():
     return dict(PROFILE)

@@ -14,11 +14,15 @@ Beyond the usual state, each line tracks:
   for prefetch accuracy accounting;
 - ``fill_flits``: NoC flits spent bringing the line in, so eviction-
   without-reuse traffic (Figure 2b) can be attributed per line.
+
+The array preallocates ``sets x ways`` :class:`CacheLine` slots in one
+flat list (slot = ``set * ways + way``) and keeps a line-base -> slot
+map, so lookups are one dict probe + one list index with no nested
+containers on the hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.mem.addr import LINE_SIZE, line_addr
@@ -32,26 +36,79 @@ EXCLUSIVE = "E"
 MODIFIED = "M"
 
 
-@dataclass
 class CacheLine:
     """One cache line's tag entry."""
 
-    addr: int = 0
-    state: str = INVALID
-    dirty: bool = False
-    # --- accounting used by the paper's measurements ---
-    fill_cycle: int = 0
-    uses: int = 0
-    prefetched: bool = False
-    stream_id: Optional[int] = None
-    fill_flits: int = 0  # data flits spent filling the line
-    fill_flits_ctrl: int = 0  # control flits spent filling the line
-    seq_num: int = 0  # aliasing-window sequence tag (SS IV-E)
-    writable: bool = False  # L1-level hint: backing L2 state is M/E
+    __slots__ = (
+        "addr", "state", "dirty",
+        # --- accounting used by the paper's measurements ---
+        "fill_cycle", "uses", "prefetched", "stream_id",
+        "fill_flits",       # data flits spent filling the line
+        "fill_flits_ctrl",  # control flits spent filling the line
+        "seq_num",          # aliasing-window sequence tag (§IV-E)
+        "writable",         # L1-level hint: backing L2 state is M/E
+    )
+
+    def __init__(
+        self,
+        addr: int = 0,
+        state: str = INVALID,
+        dirty: bool = False,
+        fill_cycle: int = 0,
+        uses: int = 0,
+        prefetched: bool = False,
+        stream_id: Optional[int] = None,
+        fill_flits: int = 0,
+        fill_flits_ctrl: int = 0,
+        seq_num: int = 0,
+        writable: bool = False,
+    ) -> None:
+        self.addr = addr
+        self.state = state
+        self.dirty = dirty
+        self.fill_cycle = fill_cycle
+        self.uses = uses
+        self.prefetched = prefetched
+        self.stream_id = stream_id
+        self.fill_flits = fill_flits
+        self.fill_flits_ctrl = fill_flits_ctrl
+        self.seq_num = seq_num
+        self.writable = writable
 
     @property
     def valid(self) -> bool:
         return self.state != INVALID
+
+    def copy(self) -> "CacheLine":
+        """Snapshot for post-eviction accounting."""
+        dup = CacheLine.__new__(CacheLine)
+        dup.addr = self.addr
+        dup.state = self.state
+        dup.dirty = self.dirty
+        dup.fill_cycle = self.fill_cycle
+        dup.uses = self.uses
+        dup.prefetched = self.prefetched
+        dup.stream_id = self.stream_id
+        dup.fill_flits = self.fill_flits
+        dup.fill_flits_ctrl = self.fill_flits_ctrl
+        dup.seq_num = self.seq_num
+        dup.writable = self.writable
+        return dup
+
+    def __repr__(self) -> str:  # debugging / sanitizer reports
+        return (
+            f"CacheLine(addr={self.addr:#x}, state={self.state!r}, "
+            f"dirty={self.dirty}, uses={self.uses}, "
+            f"stream_id={self.stream_id}, prefetched={self.prefetched})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheLine):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in CacheLine.__slots__
+        )
 
 
 class CacheArray:
@@ -83,37 +140,37 @@ class CacheArray:
         self.num_sets = size_bytes // (ways * LINE_SIZE)
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(f"number of sets ({self.num_sets}) must be a power of two")
-        self._lines: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
+        # Flat slot array: slot = set_idx * ways + way.
+        self._slots: List[CacheLine] = [
+            CacheLine() for _ in range(self.num_sets * ways)
         ]
         self._policies: List[ReplacementPolicy] = [
             make_policy(replacement, ways, seed=seed + set_idx)
             for set_idx in range(self.num_sets)
         ]
         self._set_index_fn = set_index_fn
-        # Map line base address -> (set, way) for O(1) lookups.
-        self._where: Dict[int, Tuple[int, int]] = {}
+        self._set_mask = self.num_sets - 1
+        # Map line base address -> flat slot for O(1) lookups.
+        self._where: Dict[int, int] = {}
 
     def set_of(self, addr: int) -> int:
         if self._set_index_fn is not None:
-            return self._set_index_fn(addr) & (self.num_sets - 1)
-        return (addr >> 6) & (self.num_sets - 1)
+            return self._set_index_fn(addr) & self._set_mask
+        return (addr >> 6) & self._set_mask
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the line holding ``addr``, updating recency if
         ``touch``; ``None`` on miss."""
-        base = line_addr(addr)
-        loc = self._where.get(base)
-        if loc is None:
+        slot = self._where.get(addr & ~(LINE_SIZE - 1))
+        if slot is None:
             return None
-        set_idx, way = loc
-        line = self._lines[set_idx][way]
         if touch:
-            self._policies[set_idx].on_hit(way)
-        return line
+            ways = self.ways
+            self._policies[slot // ways].on_hit(slot % ways)
+        return self._slots[slot]
 
     def contains(self, addr: int) -> bool:
-        return line_addr(addr) in self._where
+        return addr & ~(LINE_SIZE - 1) in self._where
 
     def pick_victim(self, addr: int, avoid=None) -> Tuple[int, CacheLine]:
         """Choose (way, line) to evict so ``addr`` can be filled.
@@ -125,8 +182,9 @@ class CacheArray:
         matches, in which case a RuntimeError is raised.
         """
         set_idx = self.set_of(addr)
-        ways = self._lines[set_idx]
-        valid = [ln.valid for ln in ways]
+        base_slot = set_idx * self.ways
+        ways = self._slots[base_slot:base_slot + self.ways]
+        valid = [ln.state != INVALID for ln in ways]
         policy = self._policies[set_idx]
         for _attempt in range(self.ways):
             way = policy.victim(valid)
@@ -160,8 +218,8 @@ class CacheArray:
         set_idx = self.set_of(addr)
         way, victim = self.pick_victim(addr, avoid=avoid)
         evicted: Optional[CacheLine] = None
-        if victim.valid:
-            evicted = CacheLine(**vars(victim))
+        if victim.state != INVALID:
+            evicted = victim.copy()
             del self._where[victim.addr]
         victim.addr = base
         victim.state = state
@@ -174,26 +232,24 @@ class CacheArray:
         victim.fill_flits_ctrl = fill_flits_ctrl
         victim.seq_num = 0
         victim.writable = False
-        self._where[base] = (set_idx, way)
+        self._where[base] = set_idx * self.ways + way
         self._policies[set_idx].on_fill(way)
         return victim, evicted
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop ``addr`` if present; returns a copy of the dropped line."""
-        base = line_addr(addr)
-        loc = self._where.pop(base, None)
-        if loc is None:
+        slot = self._where.pop(line_addr(addr), None)
+        if slot is None:
             return None
-        set_idx, way = loc
-        line = self._lines[set_idx][way]
-        copy = CacheLine(**vars(line))
+        line = self._slots[slot]
+        copy = line.copy()
         line.state = INVALID
         line.dirty = False
         return copy
 
     def all_lines(self) -> List[CacheLine]:
         """All valid lines (test/debug helper)."""
-        return [ln for st in self._lines for ln in st if ln.valid]
+        return [ln for ln in self._slots if ln.valid]
 
     def occupancy(self) -> int:
         return len(self._where)

@@ -50,31 +50,69 @@ DATA_OPS = frozenset(
 )
 
 
-@dataclass
 class CohMsg:
     """A coherence-protocol message body (rides inside a NoC packet)."""
 
-    op: str
-    addr: int
-    requester: int  # tile id of the L2/SE that started the transaction
-    # Request provenance for Figure 14's L3 request breakdown:
-    # "core" (demand/prefetch), "core_stream" (SE_core-issued, not
-    # floated), or set by SE_L3 ("float_affine"/"float_ind"/"float_conf").
-    source: str = "core"
-    # Data-grant annotations:
-    grant: str = ""  # state granted by a Data response: "S", "E" or "M"
-    dirty: bool = False
-    data_bytes: int = 64  # subline responses carry less (SS IV-B)
-    # Stream annotations on GetU/DataU:
-    stream_id: Optional[int] = None
-    element: Optional[int] = None
-    se_info: object = None  # opaque SE_L3 bookkeeping echoed in responses
-    # LLC back-invalidation may require the owner to write straight to
-    # memory (the bank no longer tracks the line).
-    writeback_to_dram: bool = False
-    # Bank-internal: request already counted in the L3 request stats
-    # (set when a request is parked/replayed, to avoid double counts).
-    seen: bool = False
+    __slots__ = (
+        "op", "addr",
+        "requester",  # tile id of the L2/SE that started the transaction
+        # Request provenance for Figure 14's L3 request breakdown:
+        # "core" (demand/prefetch), "core_stream" (SE_core-issued, not
+        # floated), or set by SE_L3 ("float_affine"/"float_ind"/
+        # "float_conf").
+        "source",
+        # Data-grant annotations:
+        "grant",       # state granted by a Data response: "S", "E" or "M"
+        "dirty",
+        "data_bytes",  # subline responses carry less (§IV-B)
+        # Stream annotations on GetU/DataU:
+        "stream_id", "element",
+        "se_info",  # opaque SE_L3 bookkeeping echoed in responses
+        # LLC back-invalidation may require the owner to write straight
+        # to memory (the bank no longer tracks the line).
+        "writeback_to_dram",
+        # Bank-internal: request already counted in the L3 request stats
+        # (set when a request is parked/replayed, to avoid double
+        # counts).
+        "seen",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        addr: int,
+        requester: int,
+        source: str = "core",
+        grant: str = "",
+        dirty: bool = False,
+        data_bytes: int = 64,
+        stream_id: Optional[int] = None,
+        element: Optional[int] = None,
+        se_info: object = None,
+        writeback_to_dram: bool = False,
+        seen: bool = False,
+    ) -> None:
+        self.op = op
+        self.addr = addr
+        self.requester = requester
+        self.source = source
+        self.grant = grant
+        self.dirty = dirty
+        self.data_bytes = data_bytes
+        self.stream_id = stream_id
+        self.element = element
+        self.se_info = se_info
+        self.writeback_to_dram = writeback_to_dram
+        self.seen = seen
+
+    def __repr__(self) -> str:
+        return (
+            f"CohMsg(op={self.op!r}, addr={self.addr:#x}, "
+            f"requester={self.requester}, source={self.source!r}, "
+            f"grant={self.grant!r}, dirty={self.dirty}, "
+            f"data_bytes={self.data_bytes}, stream_id={self.stream_id}, "
+            f"element={self.element})"
+        )
 
     @property
     def carries_data(self) -> bool:

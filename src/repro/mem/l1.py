@@ -24,18 +24,46 @@ from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 
 
-@dataclass
 class L1Request:
-    """A core-side access."""
+    """A core-side access.
 
-    addr: int
-    is_write: bool = False
-    prefetch: bool = False
-    stream_id: Optional[int] = None
-    element: Optional[int] = None
-    floating: bool = False
-    op_id: Optional[int] = None
-    on_done: Optional[Callable[[], None]] = None
+    ``count`` > 1 marks a line-coalesced stream request: the SE_core
+    merged that many consecutive same-line elements (starting at
+    ``element``) into one access, and hit accounting credits them all.
+    """
+
+    __slots__ = ("addr", "is_write", "prefetch", "stream_id", "element",
+                 "floating", "op_id", "on_done", "count")
+
+    def __init__(
+        self,
+        addr: int,
+        is_write: bool = False,
+        prefetch: bool = False,
+        stream_id: Optional[int] = None,
+        element: Optional[int] = None,
+        floating: bool = False,
+        op_id: Optional[int] = None,
+        on_done: Optional[Callable[[], None]] = None,
+        count: int = 1,
+    ) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.prefetch = prefetch
+        self.stream_id = stream_id
+        self.element = element
+        self.floating = floating
+        self.op_id = op_id
+        self.on_done = on_done
+        self.count = count
+
+    def __repr__(self) -> str:
+        return (
+            f"L1Request(addr={self.addr:#x}, is_write={self.is_write}, "
+            f"prefetch={self.prefetch}, stream_id={self.stream_id}, "
+            f"element={self.element}, floating={self.floating}, "
+            f"count={self.count})"
+        )
 
 
 class L1Cache:
@@ -73,25 +101,28 @@ class L1Cache:
 
     # ------------------------------------------------------------------
     def access(self, req: L1Request) -> None:
-        base = line_addr(req.addr)
-        line = self.array.lookup(base)
+        line = self.array.lookup(req.addr)  # lookup masks to the line
         hit = line is not None and (not req.is_write or line.writable)
         if self.prefetcher is not None and not req.prefetch and not req.floating:
             for pf_addr in self.prefetcher.on_access(req.op_id, req.addr, hit=hit):
                 self._issue_prefetch(pf_addr, req.op_id)
         if hit:
-            self.stats.add("l1.hits")
-            line.uses += 1
+            values = self.stats._values
+            values["l1.hits"] = values.get("l1.hits", 0) + req.count
+            line.uses += req.count
             if req.is_write:
                 line.dirty = True
             if req.floating and self.l2.se_l2 is not None:
                 # Floating stream data unexpectedly in L1 (SS IV-A):
                 # serve from cache, tell SE_L2 to advance.
-                self.l2.se_l2.on_cache_hit(req.stream_id, req.element)
+                se_l2 = self.l2.se_l2
+                for j in range(req.count):
+                    se_l2.on_cache_hit(req.stream_id, req.element + j)
             if req.on_done is not None:
                 self.sim.schedule(self.latency, req.on_done)
             return
-        self.stats.add("l1.misses")
+        values = self.stats._values
+        values["l1.misses"] = values.get("l1.misses", 0) + req.count
         self._miss(req)
 
     PREFETCH_MSHR_RESERVE = 2  # MSHRs kept free for demand misses
@@ -206,8 +237,8 @@ class L1Cache:
             line = self.array.lookup(base)
             if line is not None and (not req.is_write or line.writable):
                 # The line arrived while the request was parked.
-                self.stats.add("l1.hits")
-                line.uses += 1
+                self.stats.add("l1.hits", req.count)
+                line.uses += req.count
                 if req.is_write:
                     line.dirty = True
                 if req.on_done is not None:

@@ -35,30 +35,70 @@ from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 
 
-@dataclass
 class L2AccessResult:
     """Handed to the ``on_done`` callback of an L2 access."""
 
-    addr: int
-    writable: bool
-    latency_paid: bool = True  # False when served by SE_L2 interception
-    dropped: bool = False  # prefetch rejected (MSHR pressure): no fill
-    uncached: bool = False  # served from the SE_L2 stream buffer:
-    # the line is not in the L2, so the L1 must not cache it either
+    __slots__ = (
+        "addr", "writable",
+        "latency_paid",  # False when served by SE_L2 interception
+        "dropped",       # prefetch rejected (MSHR pressure): no fill
+        "uncached",      # served from the SE_L2 stream buffer: the line
+        # is not in the L2, so the L1 must not cache it either
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        writable: bool,
+        latency_paid: bool = True,
+        dropped: bool = False,
+        uncached: bool = False,
+    ) -> None:
+        self.addr = addr
+        self.writable = writable
+        self.latency_paid = latency_paid
+        self.dropped = dropped
+        self.uncached = uncached
+
+    def __repr__(self) -> str:
+        return (
+            f"L2AccessResult(addr={self.addr:#x}, writable={self.writable}, "
+            f"dropped={self.dropped}, uncached={self.uncached})"
+        )
 
 
-@dataclass
 class L2Request:
     """An access descriptor from the L1 (or prefetchers / SE_core)."""
 
-    addr: int
-    is_write: bool = False
-    prefetch: bool = False
-    stream_id: Optional[int] = None
-    element: Optional[int] = None
-    floating: bool = False  # request for a floated stream's element
-    op_id: Optional[int] = None
-    on_done: Optional[Callable[[L2AccessResult], None]] = None
+    __slots__ = ("addr", "is_write", "prefetch", "stream_id", "element",
+                 "floating", "op_id", "on_done")
+
+    def __init__(
+        self,
+        addr: int,
+        is_write: bool = False,
+        prefetch: bool = False,
+        stream_id: Optional[int] = None,
+        element: Optional[int] = None,
+        floating: bool = False,  # request for a floated stream's element
+        op_id: Optional[int] = None,
+        on_done: Optional[Callable[[L2AccessResult], None]] = None,
+    ) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.prefetch = prefetch
+        self.stream_id = stream_id
+        self.element = element
+        self.floating = floating
+        self.op_id = op_id
+        self.on_done = on_done
+
+    def __repr__(self) -> str:
+        return (
+            f"L2Request(addr={self.addr:#x}, is_write={self.is_write}, "
+            f"prefetch={self.prefetch}, stream_id={self.stream_id}, "
+            f"element={self.element}, floating={self.floating})"
+        )
 
 
 class L2Cache:

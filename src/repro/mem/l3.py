@@ -36,6 +36,17 @@ from repro.noc.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 
+# Interned "l3.requests_by_source.<category>" stat names: the f-string
+# ran once per request on the bank's hottest paths.
+_SOURCE_KEYS: Dict[str, str] = {}
+
+
+def _by_source_key(category: str) -> str:
+    key = _SOURCE_KEYS.get(category)
+    if key is None:
+        key = _SOURCE_KEYS[category] = f"l3.requests_by_source.{category}"
+    return key
+
 
 class L3Bank:
     """One LLC bank (plus its slice of the directory)."""
@@ -121,8 +132,12 @@ class L3Bank:
             data_bytes=data_bytes, stream_id=stream_id, element=element,
             se_info=on_ready, source=category,
         )
-        self.stats.add("l3.requests.stream_float")
-        self.stats.add(f"l3.requests_by_source.{category}")
+        values = self.stats._values
+        values["l3.requests.stream_float"] = (
+            values.get("l3.requests.stream_float", 0) + 1
+        )
+        key = _by_source_key(category)
+        values[key] = values.get(key, 0) + 1
         self.sim.schedule(self.latency, self._process, self.tile, msg)
 
     # ------------------------------------------------------------------
@@ -167,10 +182,10 @@ class L3Bank:
             msg.seen = True
             if msg.op == "GetS":
                 self.stats.add("l3.requests.gets")
-                self.stats.add(f"l3.requests_by_source.{msg.source}")
+                self.stats.add(_by_source_key(msg.source))
             elif msg.op == "GetX":
                 self.stats.add("l3.requests.getx")
-                self.stats.add(f"l3.requests_by_source.{msg.source}")
+                self.stats.add(_by_source_key(msg.source))
 
         ent = self.dir.peek(base)
         owner = ent.owner if ent else None

@@ -5,64 +5,119 @@ concurrent requests for the same line merge into one upstream fetch,
 and bounds the number of in-flight misses a cache may have (extra
 misses stall, which is one of the ways memory-level parallelism is
 limited in the simulated cores and caches).
+
+The file preallocates its ``capacity`` entries as a slot pool with a
+free-list, mirroring the hardware structure: :meth:`allocate` pops a
+free slot and re-initialises it in place, :meth:`release` detaches the
+entry (the caller owns it — fill paths consume waiters/meta after
+release, and may allocate the same slot count again immediately) and
+:meth:`recycle` returns a detached entry's slot to the pool once the
+caller is done with it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.mem.addr import line_addr
+from repro.mem.addr import LINE_SIZE
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 
 
-@dataclass
 class MshrEntry:
     """One outstanding line miss with its waiting callbacks."""
 
-    addr: int
-    issued_cycle: int
-    waiters: List[Callable[[Any], None]] = field(default_factory=list)
-    # Arbitrary controller state (e.g. whether any merged request was a
-    # demand access vs. only prefetches, or needs write permission).
-    is_write: bool = False
-    is_prefetch_only: bool = True
-    meta: dict = field(default_factory=dict)
+    __slots__ = (
+        "addr", "issued_cycle", "waiters",
+        # Arbitrary controller state (e.g. whether any merged request
+        # was a demand access vs. only prefetches, or needs write
+        # permission).
+        "is_write", "is_prefetch_only", "meta",
+    )
+
+    def __init__(self, addr: int = 0, issued_cycle: int = 0) -> None:
+        self.addr = addr
+        self.issued_cycle = issued_cycle
+        self.waiters: List[Callable[[Any], None]] = []
+        self.is_write = False
+        self.is_prefetch_only = True
+        self.meta: dict = {}
+
+    def _reset(self, addr: int, issued_cycle: int) -> None:
+        self.addr = addr
+        self.issued_cycle = issued_cycle
+        self.waiters = []
+        self.is_write = False
+        self.is_prefetch_only = True
+        self.meta = {}
+
+    def __repr__(self) -> str:  # debugging / sanitizer reports
+        return (
+            f"MshrEntry(addr={self.addr:#x}, issued={self.issued_cycle}, "
+            f"waiters={len(self.waiters)}, is_write={self.is_write}, "
+            f"is_prefetch_only={self.is_prefetch_only})"
+        )
 
 
 class MshrFile:
-    """A bounded set of :class:`MshrEntry`, keyed by line address."""
+    """A bounded set of :class:`MshrEntry`, keyed by line address.
+
+    Entries live in a preallocated pool; the dict maps live line
+    addresses to pool entries and ``_free`` holds the idle slots.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("MSHR capacity must be positive")
         self.capacity = capacity
         self._entries: Dict[int, MshrEntry] = {}
+        self._free: List[MshrEntry] = [MshrEntry() for _ in range(capacity)]
 
     def lookup(self, addr: int) -> Optional[MshrEntry]:
-        return self._entries.get(line_addr(addr))
+        return self._entries.get(addr & _LINE_MASK)
 
     @property
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
 
     def allocate(self, addr: int, now: int) -> MshrEntry:
-        """Create an entry for ``addr``; raises if full or duplicate."""
-        base = line_addr(addr)
-        if base in self._entries:
+        """Pop a free slot for ``addr``; raises if full or duplicate."""
+        base = addr & _LINE_MASK
+        entries = self._entries
+        if base in entries:
             raise ValueError(f"MSHR already allocated for {base:#x}")
-        if self.full:
+        free = self._free
+        if not free:
             raise RuntimeError("MSHR file full")
-        entry = MshrEntry(addr=base, issued_cycle=now)
-        self._entries[base] = entry
+        entry = free.pop()
+        entry._reset(base, now)
+        entries[base] = entry
         return entry
 
     def release(self, addr: int) -> MshrEntry:
-        """Remove and return the entry for ``addr``."""
-        base = line_addr(addr)
+        """Detach and return the entry for ``addr``.
+
+        The caller owns the returned entry (its waiters/meta stay
+        intact); its slot is replenished immediately so a new miss can
+        allocate without waiting on the caller, which matches the old
+        unpooled behaviour. :meth:`recycle` is therefore optional.
+        """
+        base = addr & _LINE_MASK
         entry = self._entries.pop(base, None)
         if entry is None:
             raise KeyError(f"no MSHR for {base:#x}")
+        self._free.append(MshrEntry())
         return entry
+
+    def recycle(self, entry: MshrEntry) -> None:
+        """Return a detached entry's storage to the pool, displacing
+        the placeholder :meth:`release` appended (keeps the pool at
+        ``capacity`` while reusing the hot object)."""
+        free = self._free
+        if free:
+            free[-1] = entry
+        else:
+            free.append(entry)
 
     def __len__(self) -> int:
         return len(self._entries)

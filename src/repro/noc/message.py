@@ -17,8 +17,7 @@ and thus fewer flits.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 HEADER_BITS = 64
 
@@ -32,7 +31,6 @@ TRAFFIC_CLASSES = (CTRL, DATA, STREAM)
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One NoC packet.
 
@@ -41,19 +39,38 @@ class Packet:
     message object, opaque to the network.
     """
 
-    src: int
-    dst: int
-    kind: str
-    payload_bits: int
-    dst_port: str
-    body: Any = None
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("src", "dst", "kind", "payload_bits", "dst_port",
+                 "body", "pid")
 
-    def __post_init__(self) -> None:
-        if self.kind not in TRAFFIC_CLASSES:
-            raise ValueError(f"unknown traffic class {self.kind!r}")
-        if self.payload_bits < 0:
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload_bits: int,
+        dst_port: str,
+        body: Any = None,
+        pid: int = None,
+    ) -> None:
+        if kind not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {kind!r}")
+        if payload_bits < 0:
             raise ValueError("payload_bits must be >= 0")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload_bits = payload_bits
+        self.dst_port = dst_port
+        self.body = body
+        self.pid = next(_packet_ids) if pid is None else pid
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(src={self.src}, dst={self.dst}, kind={self.kind!r}, "
+            f"payload_bits={self.payload_bits}, "
+            f"dst_port={self.dst_port!r}, body={self.body!r}, "
+            f"pid={self.pid})"
+        )
 
     def flits(self, link_bits: int) -> int:
         """Number of flits on a link of ``link_bits`` width."""

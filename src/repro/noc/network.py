@@ -60,6 +60,14 @@ class Network:
         self.hop_latency = router_stages + 1
         self._busy_until: Dict[Link, int] = {}
         self._handlers: Dict[Tuple[int, str], Handler] = {}
+        # Hot-path caches: X-Y routes are static per (src, dst) pair,
+        # and the dotted stat names are static per traffic class.
+        self._route_cache: Dict[Tuple[int, int], List[Link]] = {}
+        self._stat_keys: Dict[str, Tuple[str, str, str]] = {}
+        # Deliveries arriving at the same cycle share one kernel event:
+        # arrival cycle -> [(handler, packet), ...] in send order. A
+        # batch exists for a cycle iff its drain event is scheduled.
+        self._arrivals: Dict[int, List[Tuple[Handler, Packet]]] = {}
         # The network is built before every endpoint, so registering
         # here lets the sanitizer wrap all handlers as they attach.
         san = getattr(sim, "sanitizer", None)
@@ -86,7 +94,10 @@ class Network:
         """Inject ``packet`` now (+``extra_delay``); returns accounting
         info immediately while delivery is scheduled asynchronously."""
         flits = packet.flits(self.link_bits)
-        route = self.mesh.route(packet.src, packet.dst)
+        key = (packet.src, packet.dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._route_cache[key] = self.mesh.route(*key)
         arrival = self._traverse(
             route, self.sim.now + extra_delay, flits, local_key=packet.dst,
         )
@@ -109,14 +120,20 @@ class Network:
         overtaken by a later forward from the same bank).
         """
         head = inject_time
+        busy = self._busy_until
+        hop = self.hop_latency
         for link in route:
-            depart = max(head, self._busy_until.get(link, 0))
-            self._busy_until[link] = depart + flits
-            head = depart + self.hop_latency
+            depart = busy.get(link, 0)
+            if depart < head:
+                depart = head
+            busy[link] = depart + flits
+            head = depart + hop
         if not route and local_key is not None:
             link = (local_key, local_key)
-            depart = max(head, self._busy_until.get(link, 0))
-            self._busy_until[link] = depart + flits
+            depart = busy.get(link, 0)
+            if depart < head:
+                depart = head
+            busy[link] = depart + flits
             head = depart + self.LOCAL_LATENCY
         return head + flits - 1
 
@@ -126,7 +143,30 @@ class Network:
             raise KeyError(
                 f"no handler at tile {packet.dst} port {packet.dst_port!r}"
             )
-        self.sim.schedule_at(max(when, self.sim.now), handler, packet)
+        now = self.sim.now
+        if when < now:
+            when = now
+        batch = self._arrivals.get(when)
+        if batch is None:
+            self._arrivals[when] = [(handler, packet)]
+            self.sim.schedule_at(when, self._drain_cycle, when)
+        else:
+            batch.append((handler, packet))
+
+    def _drain_cycle(self, when: int) -> None:
+        """Run every delivery that arrives at cycle ``when``.
+
+        Handlers fire in send order (the batch is append-ordered), so
+        per-route FIFO delivery is unchanged; batching only merges the
+        kernel dispatches. Handlers that send again either hit a later
+        cycle or (same-cycle degenerate) re-arm a fresh batch, because
+        this cycle's batch is detached before any handler runs. Each
+        delivery is still one logical event for ``events_executed``.
+        """
+        batch = self._arrivals.pop(when)
+        self.sim.count_inlined_events(len(batch) - 1)
+        for handler, packet in batch:
+            handler(packet)
 
     # ------------------------------------------------------------------
     # multicast
@@ -189,9 +229,22 @@ class Network:
     # accounting
     # ------------------------------------------------------------------
     def _record(self, kind: str, flits: int, hops: int) -> None:
-        self.stats.add(f"noc.packets.{kind}")
-        self.stats.add(f"noc.flits.{kind}", flits)
-        self.stats.add(f"noc.flit_hops.{kind}", flits * hops)
+        keys = self._stat_keys.get(kind)
+        if keys is None:
+            keys = self._stat_keys[kind] = (
+                f"noc.packets.{kind}",
+                f"noc.flits.{kind}",
+                f"noc.flit_hops.{kind}",
+            )
+        # Direct counter updates: Stats.add is a method call per counter
+        # and this runs three times per packet.
+        values = self.stats._values
+        k = keys[0]
+        values[k] = values.get(k, 0) + 1
+        k = keys[1]
+        values[k] = values.get(k, 0) + flits
+        k = keys[2]
+        values[k] = values.get(k, 0) + flits * hops
 
     def utilization(self, cycles: int) -> float:
         """Average link utilization: flit-hops / (links x cycles)."""

@@ -203,8 +203,8 @@ class Telemetry:
 
         def step() -> bool:
             if profiler is not None:
-                queue = sim._queue
-                fn = queue[0][2] if queue else None
+                nxt = sim.peek_event()
+                fn = nxt[1] if nxt is not None else None
                 t0 = perf_counter()
                 ran = inner_step()
                 if fn is not None:

@@ -6,15 +6,54 @@ measured in core clock cycles (the paper's system runs at 2.0 GHz; see
 ``repro.system.params``). Events are callbacks scheduled at absolute or
 relative times and executed in (time, insertion-order) order, so the
 simulation is fully deterministic.
+
+Two interchangeable scheduler backends implement those semantics
+(DESIGN.md §10):
+
+- :class:`CalendarSimulator` (the default) — a calendar queue: a ring
+  of ``RING`` per-cycle FIFO buckets covering the window
+  ``[now, now + RING)``, with a binary heap holding far-future
+  overflow events. Scheduling into the window and dispatching are both
+  O(1) appends/indexing with no comparisons; overflow events migrate
+  into the ring exactly when the window reaches them, before any
+  direct insert for their cycle can occur, which preserves the global
+  (time, insertion-order) ordering bit-for-bit.
+- :class:`HeapSimulator` — the original single ``heapq`` ordered by
+  ``(time, seq)``. Kept as the A/B reference: ``REPRO_KERNEL=heap``
+  selects it, and the equivalence suite asserts identical determinism
+  hashes, event counts and stats against the calendar queue.
+
+Both backends share the exact same observable contract: events at the
+same cycle run in the order they were scheduled (FIFO tie-break),
+``run(until=N)`` leaves ``now == N`` even when the queue drains early,
+and fractional schedule times are rejected rather than silently
+truncated.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import telemetry as _telemetry
 from repro.sim import sanitizer as _sanitizer
+
+ENV_KERNEL = "REPRO_KERNEL"
+
+_KERNELS = ("calendar", "heap")
+
+
+def kernel_from_env() -> str:
+    """Which scheduler backend ``REPRO_KERNEL`` selects."""
+    raw = os.environ.get(ENV_KERNEL, "").strip().lower()
+    if raw in ("", "calendar", "default"):
+        return "calendar"
+    if raw == "heap":
+        return "heap"
+    raise ValueError(
+        f"{ENV_KERNEL}={raw!r} names an unknown kernel; valid: {_KERNELS}"
+    )
 
 
 class Simulator:
@@ -22,13 +61,23 @@ class Simulator:
 
     Events scheduled for the same cycle run in the order they were
     scheduled (FIFO tie-break), which keeps runs reproducible.
+    Instantiating ``Simulator()`` returns the backend selected by
+    ``REPRO_KERNEL`` (calendar queue unless ``heap`` is requested).
     """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Simulator:
+            cls = (
+                HeapSimulator if kernel_from_env() == "heap"
+                else CalendarSimulator
+            )
+        return object.__new__(cls)
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
         self._seq: int = 0
         self._events_executed: int = 0
+        self._init_queue()
         # None unless REPRO_SANITIZE enables invariant checking; when
         # attached, components register themselves at construction.
         self.sanitizer = _sanitizer.maybe_attach(self)
@@ -37,49 +86,89 @@ class Simulator:
         # to the kernel and hashes the same event stream either way.
         self.telemetry = _telemetry.maybe_attach(self)
 
+    # -- backend hooks -------------------------------------------------
+    def _init_queue(self) -> None:
+        raise NotImplementedError
+
+    def _push(self, when: int, fn: Callable[..., Any], args: tuple) -> None:
+        raise NotImplementedError
+
+    def _advance_to(self, when: int) -> None:
+        """Move ``now`` forward to ``when`` (no pending event before
+        it), doing any backend bookkeeping the move requires."""
+        raise NotImplementedError
+
+    # -- scheduling ----------------------------------------------------
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
 
-        ``delay`` must be non-negative; a zero delay runs later in the
-        current cycle (after all previously scheduled events for this
-        cycle).
+        ``delay`` must be a non-negative whole number of cycles; a
+        zero delay runs later in the current cycle (after all
+        previously scheduled events for this cycle).
         """
-        if delay < 0:
+        if type(delay) is int:
+            d = delay
+        else:
+            d = int(delay)
+            if d != delay:
+                raise ValueError(
+                    f"delay must be a whole number of cycles, got {delay!r}"
+                )
+        if d < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        self.schedule_at(self.now + int(delay), fn, *args)
+        self._push(self.now + d, fn, args)
 
     def schedule_at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
-        """Schedule ``fn(*args)`` at absolute cycle ``when``."""
-        if when < self.now:
+        """Schedule ``fn(*args)`` at absolute cycle ``when``.
+
+        ``when`` is coerced *before* the past-check so a fractional
+        time can never sneak past the guard and silently truncate onto
+        an earlier cycle; non-integral times are rejected outright.
+        """
+        if type(when) is int:
+            w = when
+        else:
+            w = int(when)
+            if w != when:
+                raise ValueError(
+                    f"schedule time must be a whole cycle, got {when!r}"
+                )
+        if w < self.now:
             raise ValueError(
                 f"cannot schedule at cycle {when}, current cycle is {self.now}"
             )
-        heapq.heappush(self._queue, (int(when), self._seq, fn, args))
-        self._seq += 1
+        self._push(w, fn, args)
 
+    # -- introspection -------------------------------------------------
     @property
     def events_pending(self) -> int:
         """Number of events still in the queue."""
-        return len(self._queue)
+        raise NotImplementedError
 
     @property
     def events_executed(self) -> int:
         """Total number of events run so far."""
         return self._events_executed
 
+    def count_inlined_events(self, n: int) -> None:
+        """Account ``n`` callbacks executed inside a batching event
+        (e.g. the NoC's per-cycle delivery drain) so ``events_executed``
+        keeps counting logical events, not just kernel dispatches."""
+        self._events_executed += n
+
     def peek_time(self) -> Optional[int]:
         """Cycle of the next pending event, or ``None`` if queue empty."""
-        return self._queue[0][0] if self._queue else None
+        nxt = self.peek_event()
+        return nxt[0] if nxt is not None else None
 
+    def peek_event(self) -> Optional[Tuple[int, Callable[..., Any]]]:
+        """(cycle, callback) of the next pending event, or ``None``."""
+        raise NotImplementedError
+
+    # -- execution -----------------------------------------------------
     def step(self) -> bool:
         """Run the single next event. Returns False if none remain."""
-        if not self._queue:
-            return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self.now = when
-        self._events_executed += 1
-        fn(*args)
-        return True
+        raise NotImplementedError
 
     def run(
         self,
@@ -89,17 +178,273 @@ class Simulator:
         """Run events until the queue drains.
 
         ``until`` bounds simulated time (events at cycles > ``until``
-        stay queued); ``max_events`` bounds the number of events run,
-        which guards against accidental livelock in tests. Returns the
-        current cycle when the run stops.
+        stay queued, and ``now`` advances to ``until`` even when the
+        queue drains first); ``max_events`` bounds the number of events
+        run, which guards against accidental livelock in tests. Returns
+        the current cycle when the run stops.
         """
+        if "step" in self.__dict__:
+            # A step hook (sanitizer / telemetry profiler) is
+            # installed: dispatch through it, one event at a time.
+            return self._run_hooked(until, max_events)
+        return self._run_fast(until, max_events)
+
+    def _run_hooked(self, until: Optional[int], max_events: Optional[int]) -> int:
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self.now = until
+        step = self.step
+        while True:
+            nxt = self.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
                 break
             if max_events is not None and executed >= max_events:
-                break
-            self.step()
+                return self.now
+            step()
             executed += 1
+        if until is not None and self.now < until:
+            self._advance_to(until)
+        return self.now
+
+    def _run_fast(self, until: Optional[int], max_events: Optional[int]) -> int:
+        raise NotImplementedError
+
+
+class HeapSimulator(Simulator):
+    """The original single-heap backend (``REPRO_KERNEL=heap``)."""
+
+    def _init_queue(self) -> None:
+        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+
+    def _push(self, when: int, fn: Callable[..., Any], args: tuple) -> None:
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def _advance_to(self, when: int) -> None:
+        self.now = when
+
+    @property
+    def events_pending(self) -> int:
+        return len(self._queue)
+
+    def peek_event(self) -> Optional[Tuple[int, Callable[..., Any]]]:
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        return head[0], head[2]
+
+    def step(self) -> bool:
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        self.now = when
+        self._events_executed += 1
+        fn(*args)
+        return True
+
+    def _run_fast(self, until: Optional[int], max_events: Optional[int]) -> int:
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        while queue:
+            if until is not None and queue[0][0] > until:
+                break
+            if max_events is not None and executed >= max_events:
+                return self.now
+            when, _seq, fn, args = pop(queue)
+            self.now = when
+            self._events_executed += 1
+            fn(*args)
+            executed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+
+class CalendarSimulator(Simulator):
+    """Calendar-queue backend: per-cycle FIFO buckets + overflow heap.
+
+    Invariants (DESIGN.md §10):
+
+    - every pending ring event sits at a cycle in ``[now, now + RING)``
+      in bucket ``when & (RING - 1)``, so a bucket holds events of
+      exactly one cycle at a time and plain append order *is* global
+      insertion order for that cycle;
+    - every overflow-heap event is at a cycle ``>= now + RING``; when
+      ``now`` advances, events falling inside the new window migrate
+      into their buckets immediately — before any direct insert for
+      those cycles is possible — keyed by ``(when, seq)`` so per-cycle
+      FIFO order is preserved across the migration;
+    - only the current cycle's bucket is ever partially consumed
+      (``_pos`` is its consumed prefix); it is cleared the moment its
+      cycle completes, so a ring scan never sees stale entries.
+    """
+
+    RING = 2048  # bucket count; must be a power of two
+
+    def _init_queue(self) -> None:
+        self._mask = self.RING - 1
+        self._buckets: List[list] = [[] for _ in range(self.RING)]
+        self._pos = 0  # consumed prefix of the current cycle's bucket
+        self._ring_count = 0  # pending events across all buckets
+        self._overflow: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+
+    def _push(self, when: int, fn: Callable[..., Any], args: tuple) -> None:
+        if when < self.now + self.RING:
+            self._buckets[when & self._mask].append((fn, args))
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (when, self._seq, fn, args))
+            self._seq += 1
+
+    # Inline overrides of the base implementations: scheduling is the
+    # single hottest simulator entry point, so the window test and
+    # bucket append happen right here instead of through ``_push``.
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        if type(delay) is int:
+            d = delay
+        else:
+            d = int(delay)
+            if d != delay:
+                raise ValueError(
+                    f"delay must be a whole number of cycles, got {delay!r}"
+                )
+        if d < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        if d < self.RING:
+            self._buckets[(self.now + d) & self._mask].append((fn, args))
+            self._ring_count += 1
+        else:
+            heapq.heappush(
+                self._overflow, (self.now + d, self._seq, fn, args)
+            )
+            self._seq += 1
+
+    def schedule_at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
+        if type(when) is int:
+            w = when
+        else:
+            w = int(when)
+            if w != when:
+                raise ValueError(
+                    f"schedule time must be a whole cycle, got {when!r}"
+                )
+        now = self.now
+        if w < now:
+            raise ValueError(
+                f"cannot schedule at cycle {when}, current cycle is {now}"
+            )
+        if w < now + self.RING:
+            self._buckets[w & self._mask].append((fn, args))
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (w, self._seq, fn, args))
+            self._seq += 1
+
+    def _advance_to(self, when: int) -> None:
+        if when == self.now:
+            return
+        bucket = self._buckets[self.now & self._mask]
+        if self._pos:
+            bucket.clear()
+            self._pos = 0
+        self.now = when
+        overflow = self._overflow
+        if overflow and overflow[0][0] < when + self.RING:
+            horizon = when + self.RING
+            buckets = self._buckets
+            mask = self._mask
+            pop = heapq.heappop
+            while overflow and overflow[0][0] < horizon:
+                w, _seq, fn, args = pop(overflow)
+                buckets[w & mask].append((fn, args))
+                self._ring_count += 1
+
+    @property
+    def events_pending(self) -> int:
+        return self._ring_count + len(self._overflow)
+
+    def peek_event(self) -> Optional[Tuple[int, Callable[..., Any]]]:
+        bucket = self._buckets[self.now & self._mask]
+        pos = self._pos
+        if pos < len(bucket):
+            return self.now, bucket[pos][0]
+        if pos:
+            bucket.clear()
+            self._pos = 0
+        if self._ring_count:
+            buckets = self._buckets
+            mask = self._mask
+            c = self.now + 1
+            while not buckets[c & mask]:
+                c += 1
+            return c, buckets[c & mask][0][0]
+        if self._overflow:
+            head = self._overflow[0]
+            return head[0], head[2]
+        return None
+
+    def step(self) -> bool:
+        nxt = self.peek_event()
+        if nxt is None:
+            return False
+        when = nxt[0]
+        if when != self.now:
+            self._advance_to(when)
+        bucket = self._buckets[when & self._mask]
+        fn, args = bucket[self._pos]
+        self._pos += 1
+        self._ring_count -= 1
+        self._events_executed += 1
+        fn(*args)
+        return True
+
+    def _run_fast(self, until: Optional[int], max_events: Optional[int]) -> int:
+        buckets = self._buckets
+        mask = self._mask
+        budget = max_events if max_events is not None else None
+        while True:
+            bucket = buckets[self.now & mask]
+            pos = self._pos
+            if pos >= len(bucket):
+                if pos:
+                    bucket.clear()
+                    pos = self._pos = 0
+                if self._ring_count:
+                    c = self.now + 1
+                    while not buckets[c & mask]:
+                        c += 1
+                elif self._overflow:
+                    c = self._overflow[0][0]
+                else:
+                    break  # drained
+                if until is not None and c > until:
+                    break
+                self._advance_to(c)
+                bucket = buckets[c & mask]
+            # Drain the current cycle. Zero-delay events append to this
+            # same bucket mid-drain; indexing past the end (rather than
+            # re-checking len() per event) detects exhaustion.
+            consumed = 0
+            try:
+                while True:
+                    try:
+                        fn, args = bucket[pos]
+                    except IndexError:
+                        break  # cycle exhausted
+                    pos += 1
+                    consumed += 1
+                    fn(*args)
+                    if budget is not None:
+                        budget -= 1
+                        if budget <= 0:
+                            break
+            finally:
+                self._pos = pos
+                self._ring_count -= consumed
+                self._events_executed += consumed
+            if budget is not None and budget <= 0:
+                return self.now
+        if until is not None and self.now < until:
+            self._advance_to(until)
         return self.now

@@ -166,9 +166,9 @@ class Sanitizer:
         inner_step = sim.step
 
         def step() -> bool:
-            queue = sim._queue
-            if queue:
-                when, _seq, fn, _args = queue[0]
+            nxt = sim.peek_event()
+            if nxt is not None:
+                when, fn = nxt
                 name = getattr(fn, "__qualname__", None) or type(fn).__name__
                 self._crc = zlib.crc32(b"%d|%s" % (when, name.encode()), self._crc)
                 self._hashed += 1

@@ -19,9 +19,15 @@ remote SE_L3s can chain addresses exactly like the hardware would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Optional, Sequence, Tuple
 
 from repro.mem.addr import LINE_SIZE, line_addr
+
+try:  # optional vectorized element generation (no hard dependency)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -43,22 +49,88 @@ class AffinePattern:
         if self.elem_size <= 0:
             raise ValueError("elem_size must be positive")
 
-    def __len__(self) -> int:
+    @cached_property
+    def _size(self) -> int:
         total = 1
         for length in self.lengths:
             total *= length
         return total
 
+    def __len__(self) -> int:
+        return self._size
+
     def address(self, idx: int) -> int:
         """Virtual address of flat element ``idx``."""
-        if not (0 <= idx < len(self)):
-            raise IndexError(f"element {idx} out of range ({len(self)})")
-        addr = self.base
-        remaining = idx
-        for stride, length in zip(self.strides, self.lengths):
-            addr += (remaining % length) * stride
-            remaining //= length
+        if not 0 <= idx < self._size:
+            raise IndexError(f"element {idx} out of range ({self._size})")
+        strides = self.strides
+        levels = len(strides)
+        if levels == 1:
+            return self.base + idx * strides[0]
+        lengths = self.lengths
+        len0 = lengths[0]
+        addr = self.base + (idx % len0) * strides[0]
+        idx //= len0
+        if levels == 2:
+            return addr + idx * strides[1]
+        len1 = lengths[1]
+        return addr + (idx % len1) * strides[1] + (idx // len1) * strides[2]
+
+    def addresses(self, start: int, count: int):
+        """Addresses of elements ``start .. start+count-1`` (flat order).
+
+        Returns a numpy int64 array when numpy is available, else a
+        list — either way indexable and iterable. The vectorized path
+        computes the mixed-radix decomposition closed-form instead of
+        one :meth:`address` call per element.
+        """
+        if count < 0 or not 0 <= start <= self._size - count:
+            raise IndexError(
+                f"elements [{start}, {start + count}) out of range "
+                f"({self._size})"
+            )
+        if _np is None:
+            return [self.address(start + i) for i in range(count)]
+        idx = _np.arange(start, start + count, dtype=_np.int64)
+        strides = self.strides
+        lengths = self.lengths
+        addr = idx * 0 + self.base
+        for level, stride in enumerate(strides[:-1]):
+            addr += (idx % lengths[level]) * stride
+            idx //= lengths[level]
+        addr += idx * strides[-1]
         return addr
+
+    def line_run_length(self, idx: int, limit: int) -> int:
+        """How many consecutive elements starting at ``idx`` sit on
+        ``idx``'s cache line (at least 1, at most ``limit``).
+
+        This is the L3 issue unit's coalescing question (one GetU can
+        serve a whole line's worth of subline elements), answered
+        closed-form over the innermost affine level instead of one
+        :meth:`address` call per element.
+        """
+        if limit > self._size - idx:
+            limit = self._size - idx
+        if limit <= 1:
+            return max(limit, 1)
+        addr = self.address(idx)
+        line = addr & ~(LINE_SIZE - 1)
+        len0 = self.lengths[0]
+        strd0 = self.strides[0]
+        row_remaining = len0 - idx % len0
+        if strd0 > 0:
+            run = -(-(line + LINE_SIZE - addr) // strd0)
+        elif strd0 < 0:
+            run = (addr - line) // -strd0 + 1
+        else:
+            run = limit
+        count = min(run, row_remaining, limit)
+        # A level boundary (or stride 0) may continue on the same
+        # line; finish with the generic walk for the rare tail.
+        while count < limit and self.address(idx + count) & ~(LINE_SIZE - 1) == line:
+            count += 1
+        return count
 
     def footprint_bytes(self) -> int:
         """Size of the touched address range (upper bound: distinct
@@ -77,8 +149,8 @@ class AffinePattern:
         """Distinct cache lines in iteration order (test helper; O(n))."""
         seen: List[int] = []
         last = None
-        for idx in range(len(self)):
-            line = line_addr(self.address(idx))
+        for addr in self.addresses(0, len(self)):
+            line = line_addr(int(addr))
             if line != last and line not in seen:
                 seen.append(line)
             last = line

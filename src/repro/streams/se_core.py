@@ -259,26 +259,58 @@ class SECore:
     # issue machinery
     # ------------------------------------------------------------------
     def _pump(self, stream: CoreStream) -> None:
-        """Issue requests up to the FIFO run-ahead window."""
+        """Issue requests up to the FIFO run-ahead window.
+
+        Affine parent streams issue at *line-run* granularity: the
+        consecutive same-line elements ahead of ``next_issue`` share
+        one L1 request (the hardware coalesces subline elements into
+        one line fetch anyway). Indirect streams stay per-element —
+        each address needs its parent's value.
+        """
         if stream.spec.kind != "load":
             return
         limit = min(stream.length, stream.freed + stream.fifo_elems)
+        pattern = stream.spec.pattern
+        coalesce = stream.parent is None and isinstance(pattern, AffinePattern)
         while stream.next_issue < limit:
             idx = stream.next_issue
             if stream.parent is not None:
                 # Indirect: address needs the parent's element value.
                 if idx >= stream.parent.ready_through() and not stream.floating:
                     break  # parent data not there yet; re-pumped later
-            stream.next_issue = idx + 1
-            self._issue(stream, idx)
+            count = 1
+            if coalesce:
+                cap = limit - idx
+                if stream.floating and idx < stream.float_start:
+                    # The floating flag flips at float_start; a request
+                    # must not straddle it. (A whole floating run is
+                    # fine: same-line elements already rode one L1
+                    # MSHR entry and released together pre-coalescing.)
+                    cap = min(cap, stream.float_start - idx)
+                if cap > 1:
+                    count = pattern.line_run_length(idx, cap)
+            stream.next_issue = idx + count
+            self._issue(stream, idx, count=count)
 
-    def _issue(self, stream: CoreStream, idx: int, reissue: bool = False) -> None:
+    def _issue(
+        self, stream: CoreStream, idx: int, reissue: bool = False,
+        count: int = 1,
+    ) -> None:
         addr = stream.spec.pattern.address(idx)
         sid = stream.sid
-        self.stats.add("se_core.requests")
+        values = self.stats._values
+        values["se_core.requests"] = values.get("se_core.requests", 0) + count
 
-        def on_done() -> None:
-            self._element_ready(stream, idx)
+        if count == 1:
+            def on_done() -> None:
+                self._element_ready(stream, idx)
+        else:
+            def on_done() -> None:
+                # One line fetch served this many elements; keep the
+                # logical event count at element grain.
+                self.sim.count_inlined_events(count - 1)
+                for j in range(idx, idx + count):
+                    self._element_ready(stream, j)
 
         req = L1Request(
             addr=addr,
@@ -286,6 +318,7 @@ class SECore:
             element=idx,
             floating=stream.floating and idx >= stream.float_start,
             on_done=on_done,
+            count=count,
         )
         # Float/sink policy bookkeeping runs at cache-line grain: the
         # 2nd..16th element of a line is neither a fresh request nor a

@@ -114,6 +114,10 @@ class SEL2:
         self.stream_grain_coherence = stream_grain_coherence
         self.tlb = tlb or Tlb(entries=2048, hit_latency=8)
         self.streams: Dict[int, BufferedStream] = {}
+        # sid -> (buffered stream, role) for every sid that resolves:
+        # leaders, their indirect children, and followers. Kept in
+        # sync by float/follow/end so the hot lookup is one dict get.
+        self._sid_index: Dict[int, Tuple[BufferedStream, str]] = {}
         self._epochs: Dict[int, int] = {}  # sid -> last float epoch
         self.se_core = None  # wired by SECore.__init__
         l2.se_l2 = self
@@ -153,6 +157,9 @@ class SEL2:
         for child in children:
             stream.child_ready[child.sid] = set()
         self.streams[spec.sid] = stream
+        self._sid_index[spec.sid] = (stream, "leader")
+        for child in children:
+            self._sid_index[child.sid] = (stream, "child")
         self.stats.add("se_l2.floats")
         first_addr = spec.pattern.address(min(start_idx, spec.length - 1))
         translate_cost = self.tlb.translate(first_addr)
@@ -193,6 +200,7 @@ class SEL2:
             if delta > max(1, leader.capacity // 2):
                 continue
             leader.followers[spec.sid] = Follower(spec=spec, delta=delta)
+            self._sid_index[spec.sid] = (leader, "follower")
             self.stats.add("se_l2.followers")
             return True
         return False
@@ -202,12 +210,18 @@ class SEL2:
         for leader in self.streams.values():
             if sid in leader.followers:
                 follower = leader.followers.pop(sid)
+                self._sid_index.pop(sid, None)
                 follower.consumed = leader.spec.length + follower.delta
                 self._release(leader)
                 return
         stream = self.streams.pop(sid, None)
         if stream is None:
             return
+        self._sid_index.pop(sid, None)
+        for child in stream.children:
+            self._sid_index.pop(child.sid, None)
+        for follower_sid in stream.followers:
+            self._sid_index.pop(follower_sid, None)
         self.stats.add("se_l2.ends")
         if self.stream_grain_coherence:
             # SS V-B disadvantage #2: deallocation messages to every
@@ -250,15 +264,7 @@ class SEL2:
         itself ("leader"), an indirect child, or a follower."""
         if sid is None:
             return None
-        stream = self.streams.get(sid)
-        if stream is not None:
-            return stream, "leader"
-        for cand in self.streams.values():
-            if any(c.sid == sid for c in cand.children):
-                return cand, "child"
-            if sid in cand.followers:
-                return cand, "follower"
-        return None
+        return self._sid_index.get(sid)
 
     def _find(self, sid: Optional[int]) -> Optional[BufferedStream]:
         hit = self._resolve(sid)

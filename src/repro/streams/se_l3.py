@@ -37,6 +37,7 @@ from repro.mem.tlb import Tlb
 from repro.noc.message import CTRL, DATA, STREAM, Packet, data_payload_bits
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
+from repro.streams.pattern import AffinePattern
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 from repro.streams.isa import StreamSpec
@@ -252,6 +253,13 @@ class SEL3:
                 self.groups.append(group)
             if len(group.members) >= self.MAX_GROUP:
                 continue
+            # The requester check above only compared against the
+            # matched stream; an existing group may already hold a
+            # *different* stream from our tile, and joining it would
+            # put duplicate requester tiles in the confluence
+            # multicast (caught by sanitizer check S4).
+            if any(m.requester == stream.requester for m in group.members):
+                continue
             group.members.append(stream)
             stream.group = group
             self.stats.add("se_l3.confluences")
@@ -341,15 +349,19 @@ class SEL3:
         # streams, e.g. a 4-byte index stream): one GetU and one DataU
         # serve the whole line's worth of elements.
         line = line_addr(addr)
-        max_batch = min(m.credits for m in participants)
-        count = 1
         pattern = stream.spec.pattern
-        while (
-            count < max_batch
-            and idx + count < stream.spec.length
-            and line_addr(pattern.address(idx + count)) == line
-        ):
-            count += 1
+        max_batch = min(m.credits for m in participants)
+        if max_batch > stream.spec.length - idx:
+            max_batch = stream.spec.length - idx
+        if isinstance(pattern, AffinePattern):
+            count = pattern.line_run_length(idx, max_batch)
+        else:
+            count = 1
+            while (
+                count < max_batch
+                and line_addr(pattern.address(idx + count)) == line
+            ):
+                count += 1
         for member in participants:
             member.next_idx += count
             member.credits -= count

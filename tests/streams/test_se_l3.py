@@ -132,6 +132,28 @@ class TestConfluence:
         rig.run()
         assert rig.stats["se_l3.confluences"] == 0
 
+    def test_same_requester_never_joins_group_twice(self):
+        # Two same-shape streams from ONE tile (sids 0 and 1) plus a
+        # matching stream from a neighbour: the neighbour's group must
+        # hold at most one member per requester tile, or the confluence
+        # multicast would carry duplicate destinations (sanitizer S4).
+        rig = self.make_rig()
+        pattern = AffinePattern(base=BASE, strides=(64,), lengths=(128,),
+                                elem_size=64)
+        rig.se_cores[0].configure([
+            StreamSpec(sid=0, pattern=pattern),
+            StreamSpec(sid=1, pattern=pattern),
+        ])
+        rig.se_cores[1].configure([StreamSpec(sid=0, pattern=pattern)])
+        rig.consume_all(0, 0, 128)
+        rig.consume_all(0, 1, 128)
+        rig.consume_all(1, 0, 128)
+        rig.run()
+        for se3 in rig.se_l3s:
+            for group in se3.groups:
+                requesters = [m.requester for m in group.members]
+                assert len(requesters) == len(set(requesters))
+
     def test_group_capped_at_four(self):
         # 4x4 mesh so one 2x2 block holds 4 requesters; a 5th from
         # another block must not join.
