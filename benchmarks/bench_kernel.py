@@ -24,7 +24,20 @@ Two measurement sections:
 
 ``seed_baseline`` embeds the pre-PR numbers (heap kernel, pre-slot-
 array memory system) measured on the same machine class, so the JSON
-carries its own trajectory: ``speedup_vs_seed`` per point.
+carries its own reference: ``speedup_vs_seed`` per point.
+
+``trajectory`` accumulates across runs instead of being overwritten:
+each invocation appends one entry (git SHA + date + per-point
+events/sec + trace hash), so the committed JSON records how kernel
+performance moved PR over PR rather than only its latest value.
+
+On a ``--check`` S5 hash mismatch the script doesn't stop at "hashes
+differ": it runs the two-pass divergence localizer between the heap
+and calendar backends on each mismatching point and writes
+``DIVERGENCE_kernel.json`` naming the first divergent (cycle, event,
+handler) — or recording that the backends agree, which means the
+hash change is semantic (a handler/model change) rather than a
+scheduling bug.
 
 Usage::
 
@@ -185,6 +198,57 @@ def run_point(workload: str, config: str, hash_pass: bool) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# trajectory bookkeeping
+# ----------------------------------------------------------------------
+def git_sha() -> str:
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def trajectory_entry(figure_points: List[Dict], quick: bool) -> Dict:
+    return {
+        "git_sha": git_sha(),
+        "date": time.strftime("%Y-%m-%d"),
+        "quick": quick,
+        "points": {
+            f"{p['workload']}/{p['config']}": {
+                key: p[key]
+                for key in ("events_per_s", "wall_s", "trace_hash")
+                if key in p
+            }
+            for p in figure_points
+        },
+    }
+
+
+def append_trajectory(out_path: str, entry: Dict) -> List[Dict]:
+    """Load the existing benchmark JSON's trajectory (if any) and
+    append this run. Re-runs at the same SHA with the same quick flag
+    replace their previous entry instead of duplicating it."""
+    trajectory: List[Dict] = []
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as fh:
+                trajectory = json.load(fh).get("trajectory", [])
+        except (json.JSONDecodeError, OSError):
+            trajectory = []
+    trajectory = [
+        e for e in trajectory
+        if not (e.get("git_sha") == entry["git_sha"]
+                and e.get("quick") == entry["quick"])
+    ]
+    trajectory.append(entry)
+    return trajectory
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
@@ -229,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "kernel_stress": stress,
         "figure_points": figure_points,
         "seed_baseline": SEED_BASELINE,
+        "trajectory": append_trajectory(
+            args.out, trajectory_entry(figure_points, args.quick)),
     }
     with open(args.out, "w") as fh:
         json.dump(out, fh, indent=2, sort_keys=True)
@@ -236,17 +302,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.out}")
 
     if args.check:
-        return check_against(args.check, figure_points)
+        divergence_out = os.path.join(
+            os.path.dirname(os.path.abspath(args.out)),
+            "DIVERGENCE_kernel.json")
+        return check_against(args.check, figure_points, divergence_out)
     return 0
 
 
 REGRESSION_TOLERANCE = 0.20  # fail if events/sec drops more than this
 
 
-def check_against(baseline_path: str, figure_points: List[Dict]) -> int:
+def localize_mismatches(mismatched: List[Dict], out_path: str) -> None:
+    """Run the divergence localizer for each hash-mismatched point and
+    write the findings as a CI artifact."""
+    from repro.obs.divergence import localize_backends
+
+    findings = []
+    for entry in mismatched:
+        name = f"{entry['workload']}/{entry['config']}"
+        print(f"  [check] localizing {name} (heap vs calendar)...")
+        divergence = localize_backends(
+            entry["workload"], entry["config"], **PROFILE)
+        if divergence is None:
+            note = ("backends agree: the hash change is semantic "
+                    "(handler/model change), not a scheduling bug")
+            print(f"  [check] {name}: {note}")
+            findings.append({"point": name, "backend_divergence": None,
+                             "note": note, **entry["hashes"]})
+        else:
+            print(f"  [check] {name}: {divergence.describe()}")
+            findings.append({
+                "point": name,
+                "backend_divergence": divergence.to_dict(),
+                "note": divergence.describe(), **entry["hashes"],
+            })
+    with open(out_path, "w") as fh:
+        json.dump({"mismatches": findings}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  [check] wrote {out_path}")
+
+
+def check_against(
+    baseline_path: str,
+    figure_points: List[Dict],
+    divergence_out: Optional[str] = None,
+) -> int:
     """CI gate: the S5 hash per shared point must match the committed
     baseline exactly (determinism is not a tolerance band), and
-    events/sec must be within REGRESSION_TOLERANCE of it."""
+    events/sec must be within REGRESSION_TOLERANCE of it.  Hash
+    mismatches trigger the divergence localizer (see module
+    docstring)."""
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     base_points = {
@@ -254,6 +359,7 @@ def check_against(baseline_path: str, figure_points: List[Dict]) -> int:
         for p in baseline.get("figure_points", [])
     }
     failures = []
+    mismatched: List[Dict] = []
     for point in figure_points:
         name = f"{point['workload']}/{point['config']}"
         base = base_points.get(name)
@@ -266,6 +372,14 @@ def check_against(baseline_path: str, figure_points: List[Dict]) -> int:
                     f"{name}: S5 trace hash {point['trace_hash']} != "
                     f"baseline {base['trace_hash']} (determinism broken)"
                 )
+                mismatched.append({
+                    "workload": point["workload"],
+                    "config": point["config"],
+                    "hashes": {
+                        "current_hash": point["trace_hash"],
+                        "baseline_hash": base["trace_hash"],
+                    },
+                })
             elif point.get("trace_events") != base.get("trace_events"):
                 failures.append(
                     f"{name}: trace events {point.get('trace_events')} != "
@@ -282,6 +396,8 @@ def check_against(baseline_path: str, figure_points: List[Dict]) -> int:
             print(f"  [check] {name}: hash ok, "
                   f"{point['events_per_s']:,} ev/s vs baseline "
                   f"{base['events_per_s']:,} (floor {int(floor):,})")
+    if mismatched and divergence_out:
+        localize_mismatches(mismatched, divergence_out)
     if failures:
         for f in failures:
             print(f"  [check] FAIL {f}", file=sys.stderr)

@@ -87,6 +87,11 @@ def main(argv=None) -> int:
     parser.add_argument("--profile-out", metavar="PATH", default=None,
                         help="kernel profile JSON output "
                              "(default profile.json)")
+    parser.add_argument("--provenance-out", metavar="PATH", default=None,
+                        help="decision provenance ledger output "
+                             "(queryable JSONL: every float/sink/"
+                             "migrate/confluence verdict with its "
+                             "input snapshot)")
     args = parser.parse_args(argv)
 
     configure_disk_cache(
@@ -105,39 +110,52 @@ def main(argv=None) -> int:
         pillars.append("interval")
     if args.profile:
         pillars.append("profile")
+    if args.provenance_out:
+        pillars.append("provenance")
     prev_telemetry = os.environ.get(ENV_TELEMETRY)
     prev_interval = os.environ.get(ENV_INTERVAL)
+    prev_tel_dir = None
+    worker_dir = None
     sink = None
     if pillars:
+        import tempfile
+
         from repro.obs.export import TelemetrySink
+        from repro.obs.telemetry import ENV_TELEMETRY_DIR
 
         os.environ[ENV_TELEMETRY] = ",".join(pillars)
         if args.interval_stats:
             os.environ[ENV_INTERVAL] = str(args.interval_stats)
-        # Telemetry aggregates in-process; fan-out workers would lose
-        # their collected spans on exit.
-        if args.jobs not in (None, 1):
-            print("[telemetry] forcing --jobs 1 (telemetry runs "
-                  "in-process)", file=sys.stderr)
-        args.jobs = 1
+        # Parent-process simulations feed the in-process sink; fan-out
+        # workers (which reset the sink on start) export per-point
+        # artifacts into a scratch dir the sink merges afterwards —
+        # so --jobs N and telemetry compose.
+        prev_tel_dir = os.environ.get(ENV_TELEMETRY_DIR)
+        worker_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
+        os.environ[ENV_TELEMETRY_DIR] = worker_dir
         sink = TelemetrySink(
             trace_out=args.trace_out,
             interval_out=args.interval_out or (
                 "intervals.jsonl" if args.interval_stats else None),
             profile_out=args.profile_out or (
                 "profile.json" if args.profile else None),
+            provenance_out=args.provenance_out,
         )
         configure_telemetry(sink)
     try:
         rc = _run(args)
         if sink is not None:
-            if sink.points == 0:
+            ingested = sink.ingest_dir(worker_dir)
+            if ingested:
+                print(f"[telemetry] merged {ingested} worker point(s)",
+                      file=sys.stderr)
+            if sink.points == 0 and ingested == 0:
                 print("[telemetry] no points simulated (all cache "
                       "hits?) — artifacts will be empty; rerun with "
                       "--no-cache to regenerate", file=sys.stderr)
             for path in sink.write():
                 print(f"[telemetry] wrote {path}", file=sys.stderr)
-            if args.profile and sink.points:
+            if args.profile and (sink.points or ingested):
                 print(sink.profile_report(), file=sys.stderr)
         return rc
     finally:
@@ -149,6 +167,8 @@ def main(argv=None) -> int:
             else:
                 os.environ[ENV_SANITIZE] = prev_sanitize
         if pillars:
+            from repro.obs.telemetry import ENV_TELEMETRY_DIR
+
             if prev_telemetry is None:
                 os.environ.pop(ENV_TELEMETRY, None)
             else:
@@ -157,6 +177,14 @@ def main(argv=None) -> int:
                 os.environ.pop(ENV_INTERVAL, None)
             else:
                 os.environ[ENV_INTERVAL] = prev_interval
+            if prev_tel_dir is None:
+                os.environ.pop(ENV_TELEMETRY_DIR, None)
+            else:
+                os.environ[ENV_TELEMETRY_DIR] = prev_tel_dir
+            if worker_dir is not None:
+                import shutil
+
+                shutil.rmtree(worker_dir, ignore_errors=True)
         parallel.set_progress(None)
         reset_telemetry()
         reset_disk_cache()

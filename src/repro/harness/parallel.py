@@ -150,7 +150,12 @@ def run_points(
             else "spawn"
         )
         items = [(i, params) for i, (_, params) in enumerate(pending)]
-        with ctx.Pool(min(jobs, len(pending))) as pool:
+        # Workers must not inherit the parent's in-process telemetry
+        # sink (fork copies module globals): resetting it makes each
+        # worker fall back to the REPRO_TELEMETRY_DIR per-point
+        # artifact export, which the parent sink merges afterwards.
+        with ctx.Pool(min(jobs, len(pending)),
+                      initializer=runner.reset_telemetry) as pool:
             for index, payload, elapsed in pool.imap_unordered(
                 _worker, items, chunksize=1
             ):

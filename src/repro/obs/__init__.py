@@ -30,9 +30,22 @@ _LAZY = {
     "chrome_trace_events": "repro.obs.export",
     "export_point_artifacts": "repro.obs.export",
     "point_slug": "repro.obs.export",
+    "provenance_instant_events": "repro.obs.export",
     "write_chrome_trace": "repro.obs.export",
     "write_intervals": "repro.obs.export",
     "write_profile": "repro.obs.export",
+    "write_provenance": "repro.obs.export",
+    "ProvenanceLedger": "repro.obs.provenance",
+    "ProvenanceRecord": "repro.obs.provenance",
+    "Divergence": "repro.obs.divergence",
+    "TraceRecorder": "repro.obs.divergence",
+    "localize": "repro.obs.divergence",
+    "localize_backends": "repro.obs.divergence",
+    "RunArtifacts": "repro.obs.diff",
+    "RunDiff": "repro.obs.diff",
+    "diff_runs": "repro.obs.diff",
+    "render_html": "repro.obs.report",
+    "render_markdown": "repro.obs.report",
 }
 
 __all__ = [

@@ -168,6 +168,49 @@ def write_profile(path: str, points: List[Dict[str, Any]]) -> str:
     return path
 
 
+def provenance_instant_events(
+    ledger, pid: int = 1, point: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Decision-ledger records as Chrome-trace ``ph: "i"`` instant
+    events on the per-tile *streams* track (same tid scheme as
+    :func:`chrome_trace_events`), so verdicts line up visually with
+    the stream lifecycle spans they decided.
+
+    Kept separate from :func:`chrome_trace_events` so span-only
+    exports (and their goldens) are unaffected by the provenance
+    pillar.
+    """
+    events: List[Dict[str, Any]] = []
+    streams_track = _TRACKS.index("streams")
+    for rec in ledger.records:
+        args: Dict[str, Any] = {"verdict": rec.verdict}
+        if rec.sid is not None:
+            args["sid"] = rec.sid
+        if rec.requester is not None:
+            args["requester"] = rec.requester
+        if rec.reason:
+            args["reason"] = rec.reason
+        for name, value in sorted(rec.inputs.items()):
+            args[name] = str(value) if isinstance(value, tuple) else value
+        if point is not None:
+            args["point"] = point
+        events.append({
+            "ph": "i", "s": "t", "pid": pid,
+            "tid": int(rec.tile) * len(_TRACKS) + streams_track,
+            "ts": rec.cycle, "name": rec.verdict, "cat": "decision",
+            "args": args,
+        })
+    return events
+
+
+def write_provenance(path: str, rows: List[Dict[str, Any]]) -> str:
+    """Queryable JSONL: one decision record per line, ledger order."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
 class TelemetrySink:
     """Aggregates per-point telemetry for the harness CLI.
 
@@ -183,16 +226,19 @@ class TelemetrySink:
         trace_out: Optional[str] = None,
         interval_out: Optional[str] = None,
         profile_out: Optional[str] = None,
+        provenance_out: Optional[str] = None,
         top_n: int = 20,
     ) -> None:
         self.trace_out = trace_out
         self.interval_out = interval_out
         self.profile_out = profile_out
+        self.provenance_out = provenance_out
         self.top_n = top_n
         self.points = 0
         self._trace_events: List[Dict[str, Any]] = []
         self._samples: List[Dict[str, Any]] = []
         self._profiles: List[Dict[str, Any]] = []
+        self._provenance_rows: List[Dict[str, Any]] = []
 
     def collect(self, telemetry, params: Dict[str, Any]) -> None:
         self.points += 1
@@ -206,6 +252,54 @@ class TelemetrySink:
         if telemetry.profiler is not None and self.profile_out:
             self._profiles.append(
                 {"point": slug, **telemetry.profiler.payload(self.top_n)})
+        ledger = getattr(telemetry, "provenance", None)
+        if ledger is not None:
+            if self.provenance_out:
+                self._provenance_rows.extend(ledger.to_rows(slug))
+            if self.trace_out:
+                self._trace_events.extend(provenance_instant_events(
+                    ledger, pid=self.points, point=slug))
+
+    def ingest_dir(self, artifact_dir: str) -> int:
+        """Merge per-point artifacts written by worker processes (via
+        ``REPRO_TELEMETRY_DIR``) into this sink, remapping each
+        point's pid (workers always export with pid 1) so merged
+        traces keep one process per point. Returns the number of
+        points ingested. Files are read in sorted order, so the merge
+        is deterministic regardless of worker scheduling."""
+        slugs = set()
+        for fname in sorted(os.listdir(artifact_dir)):
+            path = os.path.join(artifact_dir, fname)
+            for suffix in (".trace.json", ".intervals.jsonl",
+                           ".profile.json", ".provenance.jsonl"):
+                if fname.endswith(suffix):
+                    slugs.add(fname[: -len(suffix)])
+            if fname.endswith(".trace.json"):
+                with open(path, "r", encoding="utf-8") as fh:
+                    events = json.load(fh)["traceEvents"]
+                self.points += 1
+                for event in events:
+                    event["pid"] = self.points
+                    if "id" in event:
+                        # Flow-arrow ids are "<pid>.<packet>"; keep
+                        # them unique across merged points.
+                        suffix = str(event["id"]).split(".", 1)[-1]
+                        event["id"] = f"{self.points}.{suffix}"
+                self._trace_events.extend(events)
+            elif fname.endswith(".intervals.jsonl"):
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        if line.strip():
+                            self._samples.append(json.loads(line))
+            elif fname.endswith(".profile.json"):
+                with open(path, "r", encoding="utf-8") as fh:
+                    self._profiles.extend(json.load(fh)["points"])
+            elif fname.endswith(".provenance.jsonl"):
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        if line.strip():
+                            self._provenance_rows.append(json.loads(line))
+        return len(slugs)
 
     def profile_report(self) -> str:
         lines = []
@@ -231,6 +325,9 @@ class TelemetrySink:
             written.append(write_intervals(self.interval_out, self._samples))
         if self.profile_out:
             written.append(write_profile(self.profile_out, self._profiles))
+        if self.provenance_out:
+            written.append(write_provenance(
+                self.provenance_out, self._provenance_rows))
         return written
 
 
@@ -239,8 +336,12 @@ def export_point_artifacts(telemetry, out_dir: str, slug: str) -> List[str]:
     (no CLI sink, e.g. library callers or worker processes)."""
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
+    ledger = getattr(telemetry, "provenance", None)
     if telemetry.spans is not None:
         events = chrome_trace_events(telemetry.spans, pid=1, point=slug)
+        if ledger is not None:
+            events.extend(provenance_instant_events(ledger, pid=1,
+                                                    point=slug))
         written.append(write_chrome_trace(
             os.path.join(out_dir, f"{slug}.trace.json"), events))
     if telemetry.sampler is not None:
@@ -251,4 +352,8 @@ def export_point_artifacts(telemetry, out_dir: str, slug: str) -> List[str]:
         written.append(write_profile(
             os.path.join(out_dir, f"{slug}.profile.json"),
             [{"point": slug, **telemetry.profiler.payload()}]))
+    if ledger is not None:
+        written.append(write_provenance(
+            os.path.join(out_dir, f"{slug}.provenance.jsonl"),
+            ledger.to_rows(slug)))
     return written

@@ -48,16 +48,18 @@ ENV_TELEMETRY_DIR = "REPRO_TELEMETRY_DIR"
 _OFF_VALUES = ("", "0", "off", "false", "no")
 _ALL_VALUES = ("1", "on", "true", "yes", "all")
 
-PILLARS = ("spans", "interval", "profile")
+PILLARS = ("spans", "interval", "profile", "provenance")
 
 DEFAULT_INTERVAL = 10_000
 
 # Every kind the instrumented components publish. The first six match
 # the Tracer's historical vocabulary exactly (sim/trace.py).
+# ``decision`` carries float/no-float/sink/config/follow verdicts with
+# their full policy-input snapshot (provenance pillar, DESIGN.md §11).
 KINDS = (
     "float", "sink", "migrate", "confluence", "credit", "end",
     "l1_miss", "l1_fill", "l2_miss", "l2_data", "l3_demand",
-    "getu", "datau", "dram", "noc",
+    "getu", "datau", "dram", "noc", "decision",
 )
 
 
@@ -72,8 +74,10 @@ class TelemetryConfig:
     spans: bool = False
     interval: int = 0  # sampling period in cycles; 0 disables
     profile: bool = False
+    provenance: bool = False  # decision ledger + tile/link activity
     max_spans: int = 200_000  # open+closed span cap (drops counted)
     max_noc_events: int = 20_000  # exported NoC flow arrows cap
+    max_decisions: int = 100_000  # provenance ledger cap (drops counted)
 
 
 def enabled_by_env() -> bool:
@@ -104,6 +108,7 @@ def config_from_env() -> Optional[TelemetryConfig]:
         spans="spans" in enabled,
         interval=interval,
         profile="profile" in enabled,
+        provenance="provenance" in enabled,
     )
 
 
@@ -154,6 +159,11 @@ class Telemetry:
         self.profiler: Optional[KernelProfiler] = (
             KernelProfiler() if self.config.profile else None
         )
+        self.provenance = None
+        if self.config.provenance:
+            from repro.obs.provenance import ProvenanceLedger
+
+            self.provenance = ProvenanceLedger(self, self.config)
         if self.sampler is not None or self.profiler is not None:
             self._install_step_hook()
 
@@ -255,6 +265,45 @@ class Telemetry:
 
         deliver_at.__qualname__ = getattr(inner, "__qualname__", "Network._deliver_at")
         net._deliver_at = deliver_at
+        if self.provenance is None:
+            return
+        # Per-link flit accounting for the differential observatory's
+        # NoC heatmap: recompute each packet's route (the mesh routing
+        # is deterministic) and charge its flits to every hop.
+        ledger = self.provenance
+        inner_send = net.send
+
+        def send(packet, extra_delay: int = 0):
+            route = net._route_cache.get((packet.src, packet.dst))
+            if route is None:
+                route = net.mesh.route(packet.src, packet.dst)
+            ledger.record_links(route, packet.flits(net.link_bits))
+            return inner_send(packet, extra_delay)
+
+        send.__qualname__ = getattr(inner_send, "__qualname__", "Network.send")
+        net.send = send
+        inner_multicast = net.multicast
+
+        def multicast(src, dsts, kind, payload_bits, dst_port, body=None):
+            from repro.noc.topology import Mesh
+            from repro.noc.message import Packet
+
+            uniq = list(dict.fromkeys(dsts))
+            if uniq:
+                template = Packet(
+                    src=src, dst=uniq[0], kind=kind,
+                    payload_bits=payload_bits, dst_port=dst_port,
+                )
+                links = Mesh.unique_links(net.mesh.multicast_tree(src, uniq))
+                ledger.record_links(sorted(links),
+                                    template.flits(net.link_bits))
+            return inner_multicast(src, dsts, kind, payload_bits,
+                                   dst_port, body)
+
+        multicast.__qualname__ = getattr(
+            inner_multicast, "__qualname__", "Network.multicast"
+        )
+        net.multicast = multicast
 
     def watch_l1(self, l1) -> None:
         if not self._claim(l1):
@@ -387,15 +436,47 @@ class Telemetry:
 
         self._wrap_port(ctrl.net, ctrl.tile, "dram", make)
 
+    @staticmethod
+    def _policy_snapshot(se, stream) -> Dict[str, Any]:
+        """The float/sink policy's complete input state for one stream
+        (Table II history + pattern class + bank locality + progress)
+        — what a provenance record stores as the decision's evidence."""
+        ent = se.history.entry(stream.sid)
+        pattern = stream.spec.pattern
+        snap: Dict[str, Any] = {
+            "requests": ent.requests, "reuses": ent.reuses,
+            "misses": ent.misses, "aliased": ent.aliased,
+            "miss_ratio": round(ent.miss_ratio, 4),
+            "pattern": type(pattern).__name__,
+            "length": stream.spec.length,
+            "next_issue": stream.next_issue,
+            "consecutive_hits": stream.consecutive_hits,
+        }
+        footprint = getattr(pattern, "footprint_bytes", None)
+        if footprint is not None:
+            snap["footprint"] = footprint()
+        if se.se_l2 is not None and stream.spec.length > 0:
+            idx = min(stream.next_issue, stream.spec.length - 1)
+            snap["home_bank"] = se.se_l2.nuca.bank_of(pattern.address(idx))
+        return snap
+
     def watch_se_core(self, se) -> None:
         if not self._claim(se):
             return
         tel = self
+        ledger = self.provenance is not None
         inner_float = se._float
 
-        def float_(stream) -> None:
+        def float_(stream, reason="history") -> None:
             was = stream.floating
-            inner_float(stream)
+            if ledger and not was:
+                tel.publish(
+                    "decision", tile=se.tile,
+                    detail=f"float sid {stream.sid} ({reason})",
+                    verdict="float", sid=stream.sid, reason=reason,
+                    inputs=tel._policy_snapshot(se, stream),
+                )
+            inner_float(stream, reason)
             if not was and stream.floating:
                 tel.publish(
                     "float", tile=se.tile,
@@ -407,9 +488,16 @@ class Telemetry:
         se._float = float_
         inner_sink = se._sink
 
-        def sink(stream) -> None:
+        def sink(stream, reason="policy") -> None:
             was = stream.floating
-            inner_sink(stream)
+            if ledger and was and stream.parent is None:
+                tel.publish(
+                    "decision", tile=se.tile,
+                    detail=f"sink sid {stream.sid} ({reason})",
+                    verdict="sink", sid=stream.sid, reason=reason,
+                    inputs=tel._policy_snapshot(se, stream),
+                )
+            inner_sink(stream, reason)
             if was and not stream.floating:
                 tel.publish(
                     "sink", tile=se.tile, detail=f"sid {stream.sid}",
@@ -418,6 +506,30 @@ class Telemetry:
 
         sink.__qualname__ = getattr(inner_sink, "__qualname__", "SECore._sink")
         se._sink = sink
+        if not ledger:
+            return
+        # Terminal no-float verdicts: a load stream that retires without
+        # ever floating records why the policy never fired (its final
+        # history snapshot is ROADMAP item 3's training signal).
+        inner_end = se.end
+
+        def end(sids) -> None:
+            for sid in sids:
+                stream = se.streams.get(sid)
+                if (
+                    stream is not None and not stream.floating
+                    and stream.spec.kind == "load" and stream.parent is None
+                ):
+                    tel.publish(
+                        "decision", tile=se.tile,
+                        detail=f"no_float sid {sid} (end)",
+                        verdict="no_float", sid=sid, reason="never_qualified",
+                        inputs=tel._policy_snapshot(se, stream),
+                    )
+            inner_end(sids)
+
+        end.__qualname__ = getattr(inner_end, "__qualname__", "SECore.end")
+        se.end = end
 
     def watch_se_l2(self, se) -> None:
         if not self._claim(se):
@@ -446,6 +558,33 @@ class Telemetry:
             return handle
 
         self._wrap_port(se.net, se.tile, "se_l2", make)
+        if self.provenance is None:
+            return
+        inner_follow = se._try_follow
+
+        def try_follow(spec) -> bool:
+            followed = inner_follow(spec)
+            if followed:
+                leader, _role = se._sid_index[spec.sid]
+                tel.publish(
+                    "decision", tile=se.tile,
+                    detail=f"follow sid {spec.sid} -> leader "
+                           f"{leader.sid}",
+                    verdict="follow", sid=spec.sid, reason="constant_offset",
+                    inputs={
+                        "leader_sid": leader.sid,
+                        "delta": leader.followers[spec.sid].delta,
+                        "pattern": type(spec.pattern).__name__,
+                        "length": spec.length,
+                        "epoch": leader.epoch,
+                    },
+                )
+            return followed
+
+        try_follow.__qualname__ = getattr(
+            inner_follow, "__qualname__", "SEL2._try_follow"
+        )
+        se._try_follow = try_follow
 
     def watch_se_l3(self, se3) -> None:
         if not self._claim(se3):
@@ -460,6 +599,7 @@ class Telemetry:
                 detail=f"{stream.key} elem {stream.next_idx} -> bank {to_bank}",
                 requester=stream.requester, sid=stream.spec.sid,
                 elem=stream.next_idx, to_bank=to_bank, epoch=stream.epoch,
+                credits=stream.credits,
             )
             inner_migrate(stream, addr)
 
@@ -504,6 +644,34 @@ class Telemetry:
 
         end.__qualname__ = getattr(inner_end, "__qualname__", "SEL3._end")
         se3._end = end
+        if self.provenance is None:
+            return
+        inner_configure = se3._configure
+
+        def configure(spec, children, requester, start_idx, credits,
+                      epoch=0, migrated=False):
+            verdict = inner_configure(spec, children, requester, start_idx,
+                                      credits, epoch, migrated)
+            tel.publish(
+                "decision", tile=se3.tile,
+                detail=f"config_{verdict} ({requester},{spec.sid})",
+                verdict=f"config_{verdict}", sid=spec.sid,
+                requester=requester,
+                reason="migrate" if migrated else "float_config",
+                inputs={
+                    "start_idx": start_idx, "credits": credits,
+                    "epoch": epoch, "migrated": migrated,
+                    "pattern": type(spec.pattern).__name__,
+                    "length": spec.length,
+                    "resident_streams": len(se3.streams),
+                },
+            )
+            return verdict
+
+        configure.__qualname__ = getattr(
+            inner_configure, "__qualname__", "SEL3._configure"
+        )
+        se3._configure = configure
 
     def watch_chip(self, chip) -> None:
         """Bind chip-level context (stats tree, mesh geometry) — what
@@ -562,4 +730,6 @@ class Telemetry:
             out["interval_samples"] = len(self.sampler.samples)
         if self.profiler is not None:
             out["profiled_events"] = self.profiler.events
+        if self.provenance is not None:
+            out.update(self.provenance.summary())
         return out

@@ -436,11 +436,11 @@ class Sanitizer:
         inner_configure = se._configure
 
         def configure(spec, children, requester, start_idx, credits,
-                      epoch=0, migrated=False) -> None:
+                      epoch=0, migrated=False):
             key = (requester, spec.sid)
             prev = se.streams.get(key)
-            inner_configure(spec, children, requester, start_idx, credits,
-                            epoch, migrated)
+            out = inner_configure(spec, children, requester, start_idx,
+                                  credits, epoch, migrated)
             cur = se.streams.get(key)
             if cur is prev:
                 # The incoming incarnation was not installed (admission
@@ -451,6 +451,9 @@ class Sanitizer:
                 san._terminate(
                     (requester, spec.sid, prev.epoch), se.tile,
                 )
+            # Forward the verdict so observability wrappers stacked
+            # outside this one still see it.
+            return out
 
         se._configure = configure
         inner_ready = se._data_ready

@@ -139,7 +139,7 @@ class SECore:
             for spec in specs:
                 stream = self.streams[spec.sid]
                 if self._floats_at_config(stream):
-                    self._float(stream)
+                    self._float(stream, reason="footprint")
         for spec in specs:
             self._pump(self.streams[spec.sid])
 
@@ -180,7 +180,11 @@ class SECore:
     # ------------------------------------------------------------------
     # floating / sinking
     # ------------------------------------------------------------------
-    def _float(self, stream: CoreStream) -> None:
+    def _float(self, stream: CoreStream, reason: str = "history") -> None:
+        """Float ``stream``. ``reason`` labels which policy fired
+        ("footprint" at configure, "history" from Table II) — it has no
+        behavioral effect, but the telemetry provenance pillar records
+        it with the decision's input snapshot."""
         if stream.floating or self.se_l2 is None:
             return
         stream.floating = True
@@ -200,10 +204,14 @@ class SECore:
             children=[c.spec for c in float_children],
         )
 
-    def _sink(self, stream: CoreStream) -> None:
+    def _sink(self, stream: CoreStream, reason: str = "policy") -> None:
+        """Sink ``stream`` (undo its float). ``reason`` labels the
+        trigger site ("cache_hits", "alias_store", "context_flush",
+        "stream_inv", "alias_evict") for the provenance ledger; it has
+        no behavioral effect."""
         if stream.parent is not None:
             # Indirect streams float and sink with their parent.
-            self._sink(stream.parent)
+            self._sink(stream.parent, reason)
             return
         if not stream.floating:
             return
@@ -252,7 +260,7 @@ class SECore:
         """
         for stream in list(self.streams.values()):
             if stream.floating and stream.parent is None:
-                self._sink(stream)
+                self._sink(stream, reason="context_flush")
         self.stats.add("se_core.context_flushes")
 
     # ------------------------------------------------------------------
@@ -345,7 +353,7 @@ class SECore:
                     and stream.consecutive_hits >= self.SINK_HIT_THRESHOLD
                 ):
                     # The data is locally cached after all (SS IV-D).
-                    self._sink(stream)
+                    self._sink(stream, reason="cache_hits")
         self.l1.access(req)
         if not reissue:
             self._maybe_float_from_history(stream)
@@ -418,7 +426,7 @@ class SECore:
             self.stats.add("se_core.alias_flushes")
             self.history.record_alias(stream.sid)
             if stream.floating:
-                self._sink(stream)
+                self._sink(stream, reason="alias_store")
             # Flush the PEB: drop and re-issue unconsumed elements.
             for idx in range(stream.freed, stream.next_issue):
                 if idx in stream.ready:

@@ -458,7 +458,7 @@ class SEL2:
             self.se_core.history.record_alias(body.sid)
             core_stream = self.se_core.streams.get(body.sid)
             if core_stream is not None:
-                self.se_core._sink(core_stream)
+                self.se_core._sink(core_stream, reason="stream_inv")
         elif stream is not None:
             # No SE_core attached (test rigs): drop the stream state.
             self.end_stream(body.sid)
@@ -482,5 +482,6 @@ class SEL2:
                         self.se_core.history.record_alias(stream.sid)
                         core_stream = self.se_core.streams.get(stream.sid)
                         if core_stream is not None:
-                            self.se_core._sink(core_stream)
+                            self.se_core._sink(core_stream,
+                                               reason="alias_evict")
                     break

@@ -190,26 +190,33 @@ class SEL3:
         credits: int,
         epoch: int = 0,
         migrated: bool = False,
-    ) -> None:
+    ) -> str:
+        """Install (or reject) an incoming stream configuration.
+
+        Returns the verdict — ``"installed"``, ``"replaced"`` (an
+        older resident incarnation was evicted), ``"stale"`` (the
+        arrival lost to a newer incarnation) or ``"rejected"``
+        (admission control) — consumed only by observability wrappers.
+        """
         key = (requester, spec.sid)
         existing = self.streams.get(key)
         if existing is not None and existing.epoch >= epoch:
             # A Migrate from a superseded incarnation arrived after the
             # sid was re-floated here: the old incarnation dies here.
             self.stats.add("se_l3.stale_migrates")
-            return
+            return "stale"
         fwd = self.forwarding.get(key)
         if fwd is not None and fwd[1] > epoch:
             # Likewise stale relative to a newer incarnation that
             # already migrated through this bank.
             self.stats.add("se_l3.stale_migrates")
-            return
+            return "stale"
         if not migrated and len(self.streams) >= self.max_streams:
             # Reject only fresh floats. A migrating stream already owns
             # buffer and credit state at its requester; bouncing it
             # would strand that state and deadlock the core.
             self.stats.add("se_l3.config_rejected")
-            return
+            return "rejected"
         if existing is not None:
             # Older incarnation still resident (its EndStream is still
             # chasing it): replace it, keeping group/rotation clean.
@@ -232,6 +239,7 @@ class SEL3:
         if self.confluence_enabled and not spec.is_indirect:
             self._try_merge(stream)
         self._arm_pump()
+        return "replaced" if existing is not None else "installed"
 
     def _try_merge(self, stream: L3Stream) -> None:
         """Merge unit: one parameter comparison per existing stream

@@ -119,14 +119,65 @@ def test_cli_telemetry_artifacts(tmp_path, capsys):
     assert ENV_INTERVAL not in os.environ
 
 
-def test_cli_telemetry_forces_serial(tmp_path, capsys):
-    rc = main([
-        "fig2", "--cols", "2", "--rows", "2", "--scale", "64",
-        "--workloads", "nn", "--no-cache", "--jobs", "4",
-        "--trace-out", str(tmp_path / "t.trace.json"),
+def test_cli_telemetry_parallel_jobs(tmp_path, capsys):
+    """Telemetry composes with --jobs N: fan-out workers export
+    per-point artifacts that the parent sink merges, so the combined
+    trace covers every simulated point and the report text matches a
+    serial telemetry run."""
+    import json
+
+    trace = tmp_path / "par.trace.json"
+    intervals = tmp_path / "par.intervals.jsonl"
+    provenance = tmp_path / "par.provenance.jsonl"
+    # fig13 enumerates stream-floating configs, so the provenance
+    # ledger has float/sink verdicts to merge (fig2 is base-only).
+    args = [
+        "fig13", "--cols", "2", "--rows", "2", "--scale", "64",
+        "--workloads", "nn", "mv", "--no-cache",
+        "--interval-stats", "5000",
+    ]
+    rc = main(args + [
+        "--jobs", "2",
+        "--trace-out", str(trace),
+        "--interval-out", str(intervals),
+        "--provenance-out", str(provenance),
     ])
     assert rc == 0
-    assert "forcing --jobs 1" in capsys.readouterr().err
+    captured = capsys.readouterr()
+    assert "forcing --jobs 1" not in captured.err
+    assert "merged" in captured.err
+
+    events = json.load(open(trace))["traceEvents"]
+    point_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    # fig2 enumerates multiple configs per workload; every simulated
+    # point must appear as its own trace process, for both workloads.
+    assert any(name.startswith("nn-") for name in point_names)
+    assert any(name.startswith("mv-") for name in point_names)
+    # Merged points keep distinct pids (worker exports all use pid 1).
+    pids = {e["pid"] for e in events}
+    assert len(pids) == len(point_names)
+
+    interval_points = {
+        json.loads(line)["point"] for line in open(intervals)
+    }
+    assert interval_points == point_names
+
+    rows = [json.loads(line) for line in open(provenance)]
+    assert rows
+    assert {"cycle", "tile", "verdict", "inputs", "point"} <= set(rows[0])
+
+    # Same run serially: report text is byte-identical.
+    clear_cache()
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+
+    def report_lines(out):
+        return [l for l in out.splitlines() if not l.startswith("[fig13")]
+
+    assert report_lines(serial_out) == report_lines(captured.out)
 
 
 def test_cli_telemetry_warns_on_all_cache_hits(tmp_path, capsys):

@@ -7,6 +7,10 @@ must produce the same sanitizer determinism hash (the S5 CRC over
 every (cycle, event) pair), the same cycle count, and the same full
 stats dict. Any ordering divergence — a bucket consumed out of FIFO
 order, an overflow event migrating late — shows up here first.
+
+On a hash mismatch the suite does not stop at "CRCs differ": it runs
+the two-pass divergence localizer (repro.obs.divergence) and fails
+with the exact first divergent (cycle, event, handler).
 """
 
 import pytest
@@ -34,7 +38,16 @@ def _run(monkeypatch, backend, workload, config):
 def test_backends_equivalent(monkeypatch, workload, config):
     heap = _run(monkeypatch, "heap", workload, config)
     cal = _run(monkeypatch, "calendar", workload, config)
-    assert cal["sanitizer.trace_hash"] == heap["sanitizer.trace_hash"]
+    if cal["sanitizer.trace_hash"] != heap["sanitizer.trace_hash"]:
+        from repro.obs.divergence import localize_backends
+
+        divergence = localize_backends(workload, config, scale=8)
+        detail = (divergence.describe() if divergence is not None
+                  else "localizer found no event-stream divergence "
+                       "(hash inputs differ elsewhere)")
+        pytest.fail(
+            f"S5 hash mismatch between heap and calendar backends "
+            f"on {workload}/{config}: {detail}")
     assert cal["sanitizer.trace_events"] == heap["sanitizer.trace_events"]
     assert cal["chip.cycles"] == heap["chip.cycles"]
     assert cal == heap

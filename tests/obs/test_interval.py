@@ -88,6 +88,55 @@ def test_unbound_sampler_never_samples():
     assert sampler.samples == []
 
 
+def test_zero_cycle_interval_no_division():
+    """A sample spanning zero cycles (back-to-back boundaries at the
+    same instant) must report zero rates, not divide by zero."""
+    stats = Stats()
+    sampler = IntervalSampler(100)
+    sampler.bind(stats, links=4, cores=2)
+    stats.add("core.ops", 50)
+    stats.add("noc.flit_hops.data", 10)
+    sampler._sample(100)
+    stats.add("l3.misses", 3)  # activity but no elapsed cycles
+    sampler._sample(100)
+    assert len(sampler.samples) == 2
+    zero = sampler.samples[1]
+    assert zero["dcycles"] == 0
+    assert zero["ipc"] == 0.0
+    assert zero["noc_util"] == 0.0
+    assert zero["l3_mpki"] == 0.0
+    assert zero["l3_misses"] == 3
+
+
+def test_zero_ops_interval_no_division():
+    """l3_mpki divides by ops — an interval with misses but no ops
+    must come out 0, not raise."""
+    stats = Stats()
+    sampler = IntervalSampler(100)
+    sampler.bind(stats, links=1, cores=1)
+    stats.add("l3.misses", 7)
+    sampler.on_step(100)
+    assert sampler.samples[0]["l3_mpki"] == 0.0
+    assert sampler.samples[0]["ipc"] == 0.0
+    assert sampler.samples[0]["l3_misses"] == 7
+
+
+def test_flush_partial_interval_reconciles_totals():
+    """The final partial interval carries exactly the tail activity:
+    summed deltas across all samples equal the Stats totals."""
+    stats = Stats()
+    sampler = IntervalSampler(100)
+    sampler.bind(stats, links=1, cores=1)
+    stats.add("core.ops", 60)
+    sampler.on_step(100)
+    stats.add("core.ops", 25)
+    sampler.flush(140)  # run ends mid-interval
+    assert len(sampler.samples) == 2
+    assert sampler.samples[1]["dcycles"] == 40
+    assert sampler.samples[1]["core_ops"] == 25
+    assert sum(s["core_ops"] for s in sampler.samples) == 85
+
+
 # ----------------------------------------------------------------------
 # writers
 # ----------------------------------------------------------------------
@@ -119,6 +168,27 @@ def test_csv_writer(tmp_path):
     assert len(rows) == 2
     assert rows[0]["point"] == "p"
     assert float(rows[1]["core_ops"]) == 7
+
+
+def test_csv_jsonl_field_parity(tmp_path):
+    """The CSV and JSONL writers must expose the same fields with the
+    same values for the same samples — one schema, two encodings."""
+    samples = _two_samples()
+    jsonl = write_intervals(str(tmp_path / "iv.jsonl"), samples)
+    csv_path = write_intervals(str(tmp_path / "iv.csv"), samples)
+    json_rows = [json.loads(line) for line in open(jsonl)]
+    with open(csv_path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        header = reader.fieldnames
+        csv_rows = list(reader)
+    assert header == ["point"] + IntervalSampler.columns()
+    for json_row, csv_row in zip(json_rows, csv_rows):
+        assert set(header) <= set(json_row)
+        for col in header:
+            if col == "point":
+                assert json_row[col] == csv_row[col]
+            else:
+                assert float(csv_row[col]) == pytest.approx(json_row[col])
 
 
 def test_interval_pillar_end_to_end(monkeypatch):
