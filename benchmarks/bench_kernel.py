@@ -64,20 +64,39 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernel.json")
 # Fast-profile geometry (benchmarks/conftest.py PROFILE).
 PROFILE = dict(cols=4, rows=4, scale=16)
 
-# Pre-PR reference: heap kernel + dict-of-dict cache arrays, measured
-# at the seed commit with the sanitizer off on the same profile.
+# Named geometry variants: "<workload>/<config>@<variant>" points run
+# with these overrides instead of PROFILE. The 8x8 point makes the
+# paper's full 64-core mesh a routine benchmark geometry.
+GEOMETRY_OVERRIDES = {
+    "mv/sf@8x8": dict(cols=8, rows=8, scale=4),
+}
+
+# Pre-PR reference: the seed commit (telemetry-layer PR) measured on
+# the *current* machine with the sanitizer off on the same profile —
+# interleaved A/B medians against HEAD, since wall-clock on this host
+# class wanders ±10-15% between processes. ``calls_per_event`` is the
+# cProfile total-call count divided by logical events (deterministic,
+# so a single pass suffices).
 SEED_BASELINE = {
-    "mv/sf": {"wall_s": 0.802, "events": 84145, "events_per_s": 104949},
-    "mv/base": {"wall_s": 0.839, "events": 86225, "events_per_s": 102826},
-    "conv3d/sf": {"wall_s": 0.458, "events": 48657, "events_per_s": 106158},
-    "bfs/sf": {"wall_s": 5.307, "events": 555791, "events_per_s": 104738},
-    "pathfinder/sf": {"wall_s": 3.085, "events": 279205, "events_per_s": 90491},
-    "hotspot/sf": {"wall_s": 3.678, "events": 332147, "events_per_s": 90311},
+    "mv/sf": {"wall_s": 0.921, "events": 84145, "events_per_s": 91325,
+              "calls_per_event": 43.5},
+    "mv/base": {"wall_s": 1.173, "events": 86225, "events_per_s": 73503,
+                "calls_per_event": 42.0},
+    "conv3d/sf": {"wall_s": 0.445, "events": 48657, "events_per_s": 109418,
+                  "calls_per_event": 38.3},
+    "bfs/sf": {"wall_s": 6.866, "events": 555791, "events_per_s": 80942,
+               "calls_per_event": 40.8},
+    "pathfinder/sf": {"wall_s": 4.807, "events": 279205,
+                      "events_per_s": 58084, "calls_per_event": 45.9},
+    "hotspot/sf": {"wall_s": 4.807, "events": 332147,
+                   "events_per_s": 69092, "calls_per_event": 47.3},
+    "mv/sf@8x8": {"wall_s": 22.284, "events": 1351351,
+                  "events_per_s": 60641, "calls_per_event": 52.5},
 }
 
 FULL_POINTS = ["mv/sf", "mv/base", "conv3d/sf", "bfs/sf",
-               "pathfinder/sf", "hotspot/sf"]
-QUICK_POINTS = ["mv/sf", "conv3d/sf"]
+               "pathfinder/sf", "hotspot/sf", "mv/sf@8x8"]
+QUICK_POINTS = ["mv/sf", "conv3d/sf", "mv/sf@8x8"]
 
 STRESS_DEPTHS_FULL = [64, 1024, 8192, 32768]
 STRESS_DEPTHS_QUICK = [64, 1024]
@@ -133,31 +152,9 @@ def run_stress(depths: List[int], target_events: int) -> List[Dict]:
 # ----------------------------------------------------------------------
 # section 2: end-to-end figure points
 # ----------------------------------------------------------------------
-def run_point(workload: str, config: str, hash_pass: bool) -> Dict:
-    """One fast-profile simulation; returns timing + determinism info.
-
-    The hash pass (sanitizer on) and the perf pass (sanitizer off) are
-    separate simulations: the sanitizer's step hook bypasses the
-    kernel's inline run loop, so timing with it attached would measure
-    the checker, not the simulator.
-    """
-    from repro.harness.runner import run_params, simulate
-
-    os.environ.pop("REPRO_KERNEL", None)  # default backend (calendar)
-    params = run_params(workload, config, **PROFILE)
-
-    trace_hash: Optional[int] = None
-    trace_events: Optional[int] = None
-    if hash_pass:
-        os.environ["REPRO_SANITIZE"] = "1"
-        rec = simulate(params)
-        trace_hash = int(rec.stats.get("sanitizer.trace_hash"))
-        trace_events = int(rec.stats.get("sanitizer.trace_events"))
-        assert rec.stats.get("sanitizer.violations", 0) == 0
-
-    os.environ["REPRO_SANITIZE"] = "0"
-    # Time via the chip directly: the harness's RunRecord drops the
-    # simulator, and events_executed lives there.
+def _build_chip(workload: str, config: str, params: Dict):
+    """Fresh chip + programs for one measurement pass (a Chip cannot
+    be re-run)."""
     from repro.system.chip import Chip
     from repro.system.configs import make_config
     from repro.workloads.base import build_programs
@@ -173,27 +170,88 @@ def run_point(workload: str, config: str, hash_pass: bool) -> Dict:
         workload, chip.num_cores, scale=params["scale"],
         seed=params["seed"],
     )
+    return chip, programs
+
+
+def run_point(name: str, hash_pass: bool, calls_pass: bool = True) -> Dict:
+    """One figure-point simulation; returns timing + determinism info.
+
+    Up to three separate simulations per point:
+
+    - *hash pass* (sanitizer on): records the S5 trace hash that pins
+      determinism across kernel changes. Separate because the
+      sanitizer's step hook bypasses the kernel's inline run loop, so
+      timing with it attached would measure the checker.
+    - *perf pass* (sanitizer off): wall-clock, events, events/sec.
+    - *calls pass* (cProfile): total Python calls / logical event —
+      the handler-layer overhead metric the fast-path work drives
+      down. Deterministic, so one pass suffices; kept out of the perf
+      pass because profiling costs ~2-3x wall-clock.
+    """
+    from repro.harness.runner import run_params, simulate
+
+    base_name, _, variant = name.partition("@")
+    workload, config = base_name.split("/")
+    profile = dict(PROFILE, **GEOMETRY_OVERRIDES[name]) if variant else PROFILE
+
+    os.environ.pop("REPRO_KERNEL", None)  # default backend (calendar)
+    params = run_params(workload, config, **profile)
+
+    trace_hash: Optional[int] = None
+    trace_events: Optional[int] = None
+    if hash_pass:
+        os.environ["REPRO_SANITIZE"] = "1"
+        rec = simulate(params)
+        trace_hash = int(rec.stats.get("sanitizer.trace_hash"))
+        trace_events = int(rec.stats.get("sanitizer.trace_events"))
+        assert rec.stats.get("sanitizer.violations", 0) == 0
+
+    os.environ["REPRO_SANITIZE"] = "0"
+    # Time via the chip directly: the harness's RunRecord drops the
+    # simulator, and events_executed lives there.
+    chip, programs = _build_chip(workload, config, params)
     t0 = time.perf_counter()
     result = chip.run(programs)
     wall = time.perf_counter() - t0
     events = chip.sim.events_executed
     point = {
+        "name": name,
         "workload": workload,
         "config": config,
+        "profile": profile,
         "wall_s": round(wall, 4),
         "events": events,
         "events_per_s": int(events / wall),
         "cycles": result.cycles,
     }
+    if calls_pass:
+        import cProfile
+        import pstats
+
+        chip, programs = _build_chip(workload, config, params)
+        prof = cProfile.Profile()
+        prof.enable()
+        chip.run(programs)
+        prof.disable()
+        total_calls = pstats.Stats(prof).total_calls
+        point["total_calls"] = total_calls
+        point["calls_per_event"] = round(
+            total_calls / chip.sim.events_executed, 2
+        )
     if trace_hash is not None:
         point["trace_hash"] = trace_hash
         point["trace_events"] = trace_events
-    seed = SEED_BASELINE.get(f"{workload}/{config}")
+    seed = SEED_BASELINE.get(name)
     if seed is not None:
         point["seed_events_per_s"] = seed["events_per_s"]
         point["speedup_vs_seed"] = round(
             point["events_per_s"] / seed["events_per_s"], 3
         )
+        if "calls_per_event" in point and "calls_per_event" in seed:
+            point["seed_calls_per_event"] = seed["calls_per_event"]
+            point["calls_ratio_vs_seed"] = round(
+                point["calls_per_event"] / seed["calls_per_event"], 3
+            )
     return point
 
 
@@ -218,9 +276,10 @@ def trajectory_entry(figure_points: List[Dict], quick: bool) -> Dict:
         "date": time.strftime("%Y-%m-%d"),
         "quick": quick,
         "points": {
-            f"{p['workload']}/{p['config']}": {
+            p.get("name", f"{p['workload']}/{p['config']}"): {
                 key: p[key]
-                for key in ("events_per_s", "wall_s", "trace_hash")
+                for key in ("events_per_s", "wall_s", "calls_per_event",
+                            "trace_hash")
                 if key in p
             }
             for p in figure_points
@@ -277,14 +336,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     figure_points = []
     for name in points:
-        workload, config = name.split("/")
         print(f"figure point {name}...")
-        point = run_point(workload, config, hash_pass=not args.no_hash)
+        point = run_point(name, hash_pass=not args.no_hash)
         figure_points.append(point)
         extra = (f"  {point['speedup_vs_seed']}x vs seed"
                  if "speedup_vs_seed" in point else "")
+        calls = (f", {point['calls_per_event']} calls/event"
+                 if "calls_per_event" in point else "")
         print(f"  {point['wall_s']}s, {point['events']:,} events, "
-              f"{point['events_per_s']:,} ev/s{extra}")
+              f"{point['events_per_s']:,} ev/s{calls}{extra}")
 
     out = {
         "profile": PROFILE,
@@ -310,6 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 REGRESSION_TOLERANCE = 0.20  # fail if events/sec drops more than this
+# calls/event is deterministic (no wall-clock noise), so its gate is
+# tighter: >15% more Python calls per logical event than the committed
+# baseline fails the smoke job.
+CALLS_TOLERANCE = 0.15
 
 
 def localize_mismatches(mismatched: List[Dict], out_path: str) -> None:
@@ -322,7 +386,8 @@ def localize_mismatches(mismatched: List[Dict], out_path: str) -> None:
         name = f"{entry['workload']}/{entry['config']}"
         print(f"  [check] localizing {name} (heap vs calendar)...")
         divergence = localize_backends(
-            entry["workload"], entry["config"], **PROFILE)
+            entry["workload"], entry["config"],
+            **entry.get("profile", PROFILE))
         if divergence is None:
             note = ("backends agree: the hash change is semantic "
                     "(handler/model change), not a scheduling bug")
@@ -355,13 +420,13 @@ def check_against(
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     base_points = {
-        f"{p['workload']}/{p['config']}": p
+        p.get("name", f"{p['workload']}/{p['config']}"): p
         for p in baseline.get("figure_points", [])
     }
     failures = []
     mismatched: List[Dict] = []
     for point in figure_points:
-        name = f"{point['workload']}/{point['config']}"
+        name = point.get("name", f"{point['workload']}/{point['config']}")
         base = base_points.get(name)
         if base is None:
             print(f"  [check] {name}: not in baseline, skipped")
@@ -375,6 +440,7 @@ def check_against(
                 mismatched.append({
                     "workload": point["workload"],
                     "config": point["config"],
+                    "profile": point.get("profile", PROFILE),
                     "hashes": {
                         "current_hash": point["trace_hash"],
                         "baseline_hash": base["trace_hash"],
@@ -396,6 +462,14 @@ def check_against(
             print(f"  [check] {name}: hash ok, "
                   f"{point['events_per_s']:,} ev/s vs baseline "
                   f"{base['events_per_s']:,} (floor {int(floor):,})")
+        if "calls_per_event" in point and "calls_per_event" in base:
+            ceiling = base["calls_per_event"] * (1 + CALLS_TOLERANCE)
+            if point["calls_per_event"] > ceiling:
+                failures.append(
+                    f"{name}: {point['calls_per_event']} calls/event is >"
+                    f"{int(CALLS_TOLERANCE * 100)}% above baseline "
+                    f"{base['calls_per_event']} (handler-layer bloat)"
+                )
     if mismatched and divergence_out:
         localize_mismatches(mismatched, divergence_out)
     if failures:

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 from repro.mem.l1 import L1Cache, L1Request
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
+from repro.streams.pattern import AffinePattern
 from repro.streams.se_core import SECore
 from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase
 
@@ -82,10 +83,13 @@ class Core:
         # Fallback stream positions when there is no SE (Base systems).
         self._fallback_pos: Dict[int, int] = {}
         self._fallback_specs: Dict[int, object] = {}
+        # sid -> (chunk start, address list) vectorized via addresses().
+        self._fallback_buf: Dict[int, tuple] = {}
         self._peeked: Optional[Iteration] = None
         self._phase_sids: List[int] = []
         self.ops_committed = 0
         self.finish_time = 0
+        self._fast = getattr(sim, "fastpath", False)
 
     # ------------------------------------------------------------------
     # phase control (driven by the Chip)
@@ -99,6 +103,7 @@ class Core:
         self._next_seq = 0
         self._front_free_at = self.sim.now
         self._fallback_pos = {}
+        self._fallback_buf = {}
         self._fallback_specs = {s.sid: s for s in phase.stream_specs}
         self._phase_sids = [s.sid for s in phase.stream_specs]
         if self.se is not None and phase.stream_specs:
@@ -214,12 +219,30 @@ class Core:
         else:
             raise ValueError(f"unknown op {op!r}")
 
+    FALLBACK_ADDR_CHUNK = 64  # elements per vectorized addresses() batch
+
     def _fallback_addr(self, sid: int) -> int:
-        """Lower a stream op to its current address without an SE."""
-        spec = self._fallback_specs[sid]
+        """Lower a stream op to its current address without an SE.
+
+        Lowered stream ops walk the pattern strictly sequentially, so
+        affine address generation is vectorized: one ``addresses()``
+        batch per chunk instead of a mixed-radix ``address()`` per op.
+        """
         pos = self._fallback_pos.get(sid, 0)
         self._fallback_pos[sid] = pos + 1
-        return spec.pattern.address(pos)
+        start, buf = self._fallback_buf.get(sid, (0, ()))
+        off = pos - start
+        if not 0 <= off < len(buf):
+            pattern = self._fallback_specs[sid].pattern
+            count = min(self.FALLBACK_ADDR_CHUNK, len(pattern) - pos)
+            if count > 1 and isinstance(pattern, AffinePattern):
+                chunk = pattern.addresses(pos, count)
+                buf = chunk.tolist() if hasattr(chunk, "tolist") else chunk
+            else:
+                buf = [pattern.address(pos)]
+            self._fallback_buf[sid] = (pos, buf)
+            off = 0
+        return buf[off]
 
     def _plain_load(
         self, state: _IterState, addr: int, op_id: int,
@@ -260,7 +283,14 @@ class Core:
     def _store_done(self) -> None:
         self._outstanding_stores -= 1
         if self._store_waiters:
-            self.sim.schedule(0, self._store_waiters.pop(0))
+            sim = self.sim
+            if self._fast and sim.can_inline():
+                # Tail fusion (DESIGN.md §12): nothing else pending
+                # this cycle, so the zero-delay wakeup runs now.
+                sim.count_inlined_events(1)
+                self._store_waiters.pop(0)()
+            else:
+                sim.schedule(0, self._store_waiters.pop(0))
 
     def _check_done(self, state: _IterState) -> None:
         if state.finished:

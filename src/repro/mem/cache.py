@@ -152,6 +152,9 @@ class CacheArray:
         self._set_mask = self.num_sets - 1
         # Map line base address -> flat slot for O(1) lookups.
         self._where: Dict[int, int] = {}
+        # Shared all-valid vector for pick_victim's no-free-way case;
+        # policies only read it, so one instance serves every set.
+        self._all_valid = [True] * ways
 
     def set_of(self, addr: int) -> int:
         if self._set_index_fn is not None:
@@ -161,9 +164,11 @@ class CacheArray:
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the line holding ``addr``, updating recency if
         ``touch``; ``None`` on miss."""
-        slot = self._where.get(addr & ~(LINE_SIZE - 1))
-        if slot is None:
+        base = addr & ~(LINE_SIZE - 1)
+        where = self._where
+        if base not in where:
             return None
+        slot = where[base]
         if touch:
             ways = self.ways
             self._policies[slot // ways].on_hit(slot % ways)
@@ -183,12 +188,20 @@ class CacheArray:
         """
         set_idx = self.set_of(addr)
         base_slot = set_idx * self.ways
-        ways = self._slots[base_slot:base_slot + self.ways]
-        valid = [ln.state != INVALID for ln in ways]
+        slots = self._slots
+        nways = self.ways
+        # Free-way fast scan: both policies prefer the lowest-index
+        # invalid way, so finding one here short-circuits the policy
+        # (and the per-fill validity vector) entirely.
+        for way in range(nways):
+            line = slots[base_slot + way]
+            if line.state == INVALID:
+                return way, line
+        valid = self._all_valid
         policy = self._policies[set_idx]
-        for _attempt in range(self.ways):
+        for _attempt in range(nways):
             way = policy.victim(valid)
-            line = ways[way]
+            line = slots[base_slot + way]
             if avoid is None or not line.valid or not avoid(line.addr):
                 return way, line
             # Pinned: make it most-recently-used and try again.
@@ -212,7 +225,7 @@ class CacheArray:
         metadata so the controller can account for it after the slot
         has been reused. ``avoid`` is forwarded to :meth:`pick_victim`.
         """
-        base = line_addr(addr)
+        base = addr & ~(LINE_SIZE - 1)
         if base in self._where:
             raise ValueError(f"fill of already-present line {base:#x}")
         set_idx = self.set_of(addr)

@@ -42,7 +42,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
-from repro.mem.addr import line_addr
+from repro.mem.addr import LINE_SIZE, line_addr
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 
 # Ops whose packets carry a full line (or subline) of data.
 DATA_OPS = frozenset(
@@ -119,6 +121,63 @@ class CohMsg:
         return self.op in DATA_OPS
 
 
+# ----------------------------------------------------------------------
+# Transient-message free-list (DESIGN.md §12).
+#
+# Messages whose receiving handler consumes them fully and synchronously
+# (never queues, forwards, or stores them) can cycle through a pool
+# instead of being allocated fresh per hop. That is true for bodies the
+# L2 and DRAM controllers receive — their handlers return before the
+# next event runs — but NOT for L3-bound bodies (the bank re-schedules
+# the body behind its access latency), multicast bodies (shared across
+# deliveries), or requests (parked in MSHR meta). Release is gated on
+# ``sim.pooling`` by the caller; acquire is unconditional (an empty
+# pool degrades to a plain allocation).
+_MSG_POOL: list = []
+
+
+def acquire_msg(
+    op: str,
+    addr: int,
+    requester: int,
+    source: str = "core",
+    grant: str = "",
+    dirty: bool = False,
+    data_bytes: int = 64,
+    stream_id: Optional[int] = None,
+    element: Optional[int] = None,
+    se_info: object = None,
+    writeback_to_dram: bool = False,
+) -> CohMsg:
+    """A :class:`CohMsg` from the free-list (or fresh when empty)."""
+    pool = _MSG_POOL
+    if not pool:
+        return CohMsg(
+            op, addr, requester, source, grant, dirty, data_bytes,
+            stream_id, element, se_info, writeback_to_dram,
+        )
+    msg = pool.pop()
+    msg.op = op
+    msg.addr = addr
+    msg.requester = requester
+    msg.source = source
+    msg.grant = grant
+    msg.dirty = dirty
+    msg.data_bytes = data_bytes
+    msg.stream_id = stream_id
+    msg.element = element
+    msg.se_info = se_info
+    msg.writeback_to_dram = writeback_to_dram
+    msg.seen = False
+    return msg
+
+
+def release_msg(msg: CohMsg) -> None:
+    """Return a fully-consumed transient message to the free-list."""
+    msg.se_info = None
+    _MSG_POOL.append(msg)
+
+
 @dataclass
 class DirEntry:
     """Directory state for one line homed at an L3 bank."""
@@ -146,16 +205,18 @@ class Directory:
         self.invalidations_sent = 0
 
     def entry(self, addr: int) -> DirEntry:
-        base = line_addr(addr)
-        ent = self._entries.get(base)
-        if ent is None:
-            ent = DirEntry()
-            self._entries[base] = ent
+        base = addr & _LINE_MASK
+        entries = self._entries
+        if base in entries:
+            return entries[base]
+        ent = entries[base] = DirEntry()
         return ent
 
     def peek(self, addr: int) -> Optional[DirEntry]:
         """Entry if one exists, without creating it."""
-        return self._entries.get(line_addr(addr))
+        base = addr & _LINE_MASK
+        entries = self._entries
+        return entries[base] if base in entries else None
 
     def add_sharer(self, addr: int, tile: int) -> None:
         ent = self.entry(addr)

@@ -16,7 +16,7 @@ from typing import List
 
 from repro.mem.addr import PAGE_SHIFT
 from repro.noc.message import CTRL, DATA, Packet, data_payload_bits
-from repro.mem.coherence import CohMsg
+from repro.mem.coherence import CohMsg, release_msg
 from repro.noc.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
@@ -41,6 +41,9 @@ class DramController:
         self.access_latency = access_latency
         self.cycles_per_line = cycles_per_line
         self._busy_until = 0
+        self._pooling = getattr(sim, "pooling", False)
+        self._c_reads = stats.counter("dram.reads")
+        self._c_writes = stats.counter("dram.writes")
         net.register(tile, "dram", self.handle)
         tel = getattr(sim, "telemetry", None)
         if tel is not None:
@@ -49,25 +52,28 @@ class DramController:
     def handle(self, pkt: Packet) -> None:
         msg: CohMsg = pkt.body
         if msg.op == "MemRead":
-            self.stats.add("dram.reads")
+            self._c_reads[0] += 1
             done = self._service()
-            resp = CohMsg(
-                op="MemData", addr=msg.addr, requester=msg.requester,
-                se_info=msg.se_info,
-            )
-            self.sim.schedule_at(
-                done,
-                lambda: self.net.send(Packet(
-                    src=self.tile, dst=pkt.src, kind=DATA,
-                    payload_bits=data_payload_bits(64),
-                    dst_port="l3", body=resp,
-                )),
-            )
+            # Build the response eagerly and schedule the bound send
+            # directly — no closure allocation per read.
+            self.sim.schedule_at(done, self.net.send, Packet(
+                src=self.tile, dst=pkt.src, kind=DATA,
+                payload_bits=data_payload_bits(64),
+                dst_port="l3",
+                body=CohMsg(
+                    op="MemData", addr=msg.addr, requester=msg.requester,
+                    se_info=msg.se_info,
+                ),
+            ))
         elif msg.op == "MemWrite":
-            self.stats.add("dram.writes")
+            self._c_writes[0] += 1
             self._service()
         else:
             raise ValueError(f"DRAM controller got unexpected op {msg.op!r}")
+        if self._pooling:
+            # MemRead/MemWrite are consumed fully above (the MemData
+            # response copies what it needs), so the body recycles.
+            release_msg(msg)
 
     def _service(self) -> int:
         """Reserve the channel for one line; returns completion cycle."""

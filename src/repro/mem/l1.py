@@ -16,12 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.mem.addr import line_addr
+from repro.mem.addr import LINE_SIZE
 from repro.mem.cache import CacheArray, EXCLUSIVE, MODIFIED, SHARED
 from repro.mem.l2 import L2AccessResult, L2Cache, L2Request
 from repro.mem.mshr import MshrFile
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 
 
 class L1Request:
@@ -88,8 +90,15 @@ class L1Cache:
         self.latency = latency
         self.array = CacheArray(size_bytes, ways, replacement=replacement, seed=tile)
         self.mshr = MshrFile(mshrs)
+        # fill()'s eviction-victim predicate: victim addresses are line
+        # bases, so MSHR key membership is lookup() minus the masking —
+        # hoisted so _fill doesn't build a closure per fill.
+        self._avoid_inflight = self.mshr._entries.__contains__
         self._overflow: List[L1Request] = []
         self.prefetcher = None  # L1 stride or Bingo, wired by the tile
+        self._fast = getattr(sim, "fastpath", False)
+        self._c_hits = stats.counter("l1.hits")
+        self._c_misses = stats.counter("l1.misses")
         l2.on_l1_invalidate = self.invalidate
         l2.on_l1_downgrade = self.downgrade
         san = getattr(sim, "sanitizer", None)
@@ -107,8 +116,7 @@ class L1Cache:
             for pf_addr in self.prefetcher.on_access(req.op_id, req.addr, hit=hit):
                 self._issue_prefetch(pf_addr, req.op_id)
         if hit:
-            values = self.stats._values
-            values["l1.hits"] = values.get("l1.hits", 0) + req.count
+            self._c_hits[0] += req.count
             line.uses += req.count
             if req.is_write:
                 line.dirty = True
@@ -121,14 +129,13 @@ class L1Cache:
             if req.on_done is not None:
                 self.sim.schedule(self.latency, req.on_done)
             return
-        values = self.stats._values
-        values["l1.misses"] = values.get("l1.misses", 0) + req.count
+        self._c_misses[0] += req.count
         self._miss(req)
 
     PREFETCH_MSHR_RESERVE = 2  # MSHRs kept free for demand misses
 
     def _issue_prefetch(self, addr: int, op_id: Optional[int]) -> None:
-        base = line_addr(addr)
+        base = addr & _LINE_MASK
         if self.array.contains(base) or self.mshr.lookup(base) is not None:
             return
         if len(self.mshr) >= self.mshr.capacity - self.PREFETCH_MSHR_RESERVE:
@@ -138,7 +145,7 @@ class L1Cache:
         self._miss(L1Request(addr=base, prefetch=True, op_id=op_id))
 
     def _miss(self, req: L1Request) -> None:
-        base = line_addr(req.addr)
+        base = req.addr & _LINE_MASK
         entry = self.mshr.lookup(base)
         if entry is not None:
             entry.is_write = entry.is_write or req.is_write
@@ -176,6 +183,7 @@ class L1Cache:
                 if not waiter.prefetch:
                     self._miss(waiter)
             self._drain_overflow()
+            self.mshr.recycle(entry)
             return
         # The L2's grant may be stale: a downgrade or invalidation can
         # land during the response latency window, after the L2 decided
@@ -200,7 +208,7 @@ class L1Cache:
                     base, SHARED, now=self.sim.now,
                     prefetched=entry.is_prefetch_only,
                     stream_id=stream_id,
-                    avoid=lambda a: self.mshr.lookup(a) is not None,
+                    avoid=self._avoid_inflight,
                 )
                 line.writable = writable
                 if entry.is_write and writable:
@@ -217,10 +225,30 @@ class L1Cache:
             # flight: retry the store as a background upgrade (GetX).
             self.stats.add("l1.write_upgrade_retries")
             self._miss(L1Request(addr=base, is_write=True))
-        for waiter in entry.waiters:
-            if waiter.on_done is not None:
-                self.sim.schedule(0, waiter.on_done)
-        self._drain_overflow()
+        sim = self.sim
+        if self._fast and sim.can_inline():
+            # Fused wakeup (DESIGN.md §12): with nothing else pending
+            # this cycle, the zero-delay waiter callbacks would run
+            # immediately after this handler in queue order — so run
+            # them synchronously once _fill has fully completed
+            # (after the overflow drain, exactly where the event
+            # queue would have run them). count_inlined_events keeps
+            # the logical event count identical to the unfused path.
+            self._drain_overflow()
+            sim._inline_depth += 1
+            try:
+                for waiter in entry.waiters:
+                    if waiter.on_done is not None:
+                        sim.count_inlined_events(1)
+                        waiter.on_done()
+            finally:
+                sim._inline_depth -= 1
+        else:
+            for waiter in entry.waiters:
+                if waiter.on_done is not None:
+                    sim.schedule(0, waiter.on_done)
+            self._drain_overflow()
+        self.mshr.recycle(entry)
 
     def _writeback_to_l2(self, addr: int) -> None:
         """Dirty L1 victim folds into the (inclusive) L2 copy."""
@@ -233,7 +261,7 @@ class L1Cache:
     def _drain_overflow(self) -> None:
         while self._overflow and not self.mshr.full:
             req = self._overflow.pop(0)
-            base = line_addr(req.addr)
+            base = req.addr & _LINE_MASK
             line = self.array.lookup(base)
             if line is not None and (not req.is_write or line.writable):
                 # The line arrived while the request was parked.
@@ -247,12 +275,12 @@ class L1Cache:
             self._miss(req)
 
     def invalidate(self, addr: int) -> None:
-        self.array.invalidate(line_addr(addr))
+        self.array.invalidate(addr & _LINE_MASK)
 
     def downgrade(self, addr: int) -> None:
         """L2 lost write permission: clear the writable hint (and fold
         any silently dirtied L1 data back into the outgoing copy)."""
-        line = self.array.lookup(line_addr(addr), touch=False)
+        line = self.array.lookup(addr & _LINE_MASK, touch=False)
         if line is not None:
             line.writable = False
             line.dirty = False

@@ -25,14 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.mem.addr import LINE_SIZE, NucaMap, line_addr
+from repro.mem.addr import LINE_SIZE, NucaMap
 from repro.mem.cache import CacheArray, EXCLUSIVE, MODIFIED, SHARED
-from repro.mem.coherence import CohMsg
+from repro.mem.coherence import CohMsg, acquire_msg, release_msg
 from repro.mem.mshr import MshrFile
 from repro.noc.message import CTRL, DATA, Packet, control_payload_bits, data_payload_bits
 from repro.noc.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 
 
 class L2AccessResult:
@@ -124,6 +126,11 @@ class L2Cache:
         self.latency = latency
         self.array = CacheArray(size_bytes, ways, replacement=replacement, seed=tile)
         self.mshr = MshrFile(mshrs)
+        # fill()'s eviction-victim predicate: skip lines with in-flight
+        # transactions. Victim addresses are already line bases, so the
+        # MSHR key-set membership test is lookup() minus the masking —
+        # hoisted here so _fill doesn't build a closure per fill.
+        self._avoid_inflight = self.mshr._entries.__contains__
         self.nuca = nuca
         self._overflow: List[L2Request] = []  # demand requests beyond MSHRs
         # Hooks wired by the tile assembly:
@@ -133,6 +140,15 @@ class L2Cache:
         self.on_l1_downgrade: Optional[Callable[[int], None]] = None
         self.prefetcher = None  # L2 stride prefetcher (trained on misses)
         self.bulk = None  # optional bulk-prefetch request grouper
+        self._fast = getattr(sim, "fastpath", False)
+        self._pooling = getattr(sim, "pooling", False)
+        # A line-sized Data response always serializes to the same flit
+        # count; compute it once instead of building a throwaway Packet
+        # per response (DESIGN.md §12).
+        self._resp_flits = Packet(
+            src=0, dst=tile, kind=DATA,
+            payload_bits=data_payload_bits(LINE_SIZE), dst_port="l2",
+        ).flits(net.link_bits)
         net.register(tile, "l2", self.handle)
         san = getattr(sim, "sanitizer", None)
         if san is not None:
@@ -149,7 +165,7 @@ class L2Cache:
     # ------------------------------------------------------------------
     def access(self, req: L2Request) -> None:
         """Look up ``req.addr``; respond through ``req.on_done``."""
-        base = line_addr(req.addr)
+        base = req.addr & _LINE_MASK
         line = self.array.lookup(base)
         if line is not None and not (req.is_write and line.state == SHARED):
             # Plain hit (writes need M/E; E upgrades to M silently).
@@ -183,7 +199,7 @@ class L2Cache:
     PREFETCH_MSHR_RESERVE = 4  # MSHRs kept free for demand misses
 
     def _issue_prefetch(self, addr: int) -> None:
-        base = line_addr(addr)
+        base = addr & _LINE_MASK
         if self.array.contains(base) or self.mshr.lookup(base) is not None:
             return
         if len(self.mshr) >= self.mshr.capacity - self.PREFETCH_MSHR_RESERVE:
@@ -193,7 +209,7 @@ class L2Cache:
         self._miss(L2Request(addr=base, prefetch=True), None)
 
     def _miss(self, req: L2Request, line) -> None:
-        base = line_addr(req.addr)
+        base = req.addr & _LINE_MASK
         upgrade = line is not None  # write hit in S: needs GetX, no fill
         entry = self.mshr.lookup(base)
         if entry is not None:
@@ -229,10 +245,11 @@ class L2Cache:
         if self.bulk is not None and req.prefetch and op == "GetS":
             self.bulk.enqueue(home, msg, entry)
             return
-        info = self.net.send(Packet(
-            src=self.tile, dst=home, kind=CTRL,
-            payload_bits=control_payload_bits(), dst_port="l3", body=msg,
-        ))
+        # Body stays a plain allocation: L3-bound requests may be
+        # parked in the bank's MSHR meta, so they never pool.
+        info = self.net.send_new(
+            self.tile, home, CTRL, control_payload_bits(), "l3", body=msg,
+        )
         entry.meta["req_flits"] = info.flits
 
     # ------------------------------------------------------------------
@@ -253,15 +270,16 @@ class L2Cache:
             self._forward(pkt, msg)
         else:
             raise ValueError(f"L2 got unexpected op {op!r}")
+        if self._pooling:
+            # Every op above is consumed fully and synchronously: the
+            # body can cycle back to the transient-message pool.
+            release_msg(msg)
 
     def _data(self, pkt: Packet, msg: CohMsg) -> None:
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         entry = self.mshr.release(base)
-        resp_flits = Packet(
-            src=pkt.src, dst=self.tile, kind=DATA,
-            payload_bits=data_payload_bits(LINE_SIZE), dst_port="l2",
-        ).flits(self.net.link_bits)
-        if entry.meta.get("upgrade"):
+        resp_flits = self._resp_flits
+        if entry.meta["upgrade"]:
             line = self.array.lookup(base, touch=False)
             if line is not None:
                 line.state = msg.grant
@@ -272,19 +290,37 @@ class L2Cache:
             self._fill(base, msg, entry, resp_flits)
         line = self.array.lookup(base, touch=False)
         writable = bool(line) and line.state in (MODIFIED, EXCLUSIVE)
-        for waiter in entry.waiters:
-            self._respond(waiter, writable=writable, delay=0)
-        self._drain_overflow()
+        sim = self.sim
+        if self._fast and sim.can_inline():
+            # Fused response (DESIGN.md §12): the zero-delay waiter
+            # callbacks run synchronously after _data fully completes,
+            # exactly where the event queue would have run them.
+            self._drain_overflow()
+            sim._inline_depth += 1
+            try:
+                for waiter in entry.waiters:
+                    if waiter.on_done is not None:
+                        sim.count_inlined_events(1)
+                        waiter.on_done(L2AccessResult(
+                            addr=base, writable=writable))
+            finally:
+                sim._inline_depth -= 1
+        else:
+            for waiter in entry.waiters:
+                self._respond(waiter, writable=writable, delay=0)
+            self._drain_overflow()
+        self.mshr.recycle(entry)
 
     def _fill(self, base: int, msg: CohMsg, entry, resp_flits: int) -> None:
         state = msg.grant or SHARED
+        meta = entry.meta
         line, evicted = self.array.fill(
             base, state, now=self.sim.now,
-            prefetched=entry.meta.get("prefetch", False),
-            stream_id=entry.meta.get("stream_id"),
+            prefetched=meta["prefetch"] if "prefetch" in meta else False,
+            stream_id=meta["stream_id"] if "stream_id" in meta else None,
             fill_flits=resp_flits,
-            fill_flits_ctrl=entry.meta.get("req_flits", 0),
-            avoid=lambda a: self.mshr.lookup(a) is not None,
+            fill_flits_ctrl=meta["req_flits"] if "req_flits" in meta else 0,
+            avoid=self._avoid_inflight,
         )
         if state == MODIFIED:
             line.dirty = True
@@ -312,18 +348,16 @@ class L2Cache:
             # buffered floating-stream element.
             self.se_l2.on_dirty_evict(base)
         if victim.dirty:
-            info = self.net.send(Packet(
-                src=self.tile, dst=home, kind=DATA,
-                payload_bits=data_payload_bits(LINE_SIZE), dst_port="l3",
+            info = self.net.send_new(
+                self.tile, home, DATA, data_payload_bits(LINE_SIZE), "l3",
                 body=CohMsg(op="PutM", addr=base, requester=self.tile),
-            ))
+            )
             evict_flits_data = info.flits
         else:
-            info = self.net.send(Packet(
-                src=self.tile, dst=home, kind=CTRL,
-                payload_bits=control_payload_bits(), dst_port="l3",
+            info = self.net.send_new(
+                self.tile, home, CTRL, control_payload_bits(), "l3",
                 body=CohMsg(op="PutS", addr=base, requester=self.tile),
-            ))
+            )
             evict_flits_ctrl = info.flits
         # --- Figure 2a/2b classification ---
         no_reuse = victim.uses == 0 and not victim.dirty
@@ -338,7 +372,7 @@ class L2Cache:
             )
 
     def _inv(self, msg: CohMsg) -> None:
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         victim = self.array.invalidate(base)
         if self.on_l1_invalidate:
             self.on_l1_invalidate(base)
@@ -350,20 +384,19 @@ class L2Cache:
             # longer homes it, write straight to memory.
             # (Requires a DramSystem mapping; use home-bank relay when
             # unavailable.)
-            self.net.send(Packet(
-                src=self.tile, dst=self.nuca.bank_of(base), kind=DATA,
-                payload_bits=data_payload_bits(LINE_SIZE), dst_port="l3",
+            self.net.send_new(
+                self.tile, self.nuca.bank_of(base), DATA,
+                data_payload_bits(LINE_SIZE), "l3",
                 body=CohMsg(op="PutM", addr=base, requester=self.tile),
-            ))
+            )
         elif not msg.writeback_to_dram:
-            self.net.send(Packet(
-                src=self.tile, dst=msg.requester, kind=CTRL,
-                payload_bits=control_payload_bits(), dst_port="l2",
-                body=CohMsg(op="InvAck", addr=base, requester=self.tile),
-            ))
+            self.net.send_new(
+                self.tile, msg.requester, CTRL, control_payload_bits(), "l2",
+                body=acquire_msg("InvAck", base, self.tile),
+            )
 
     def _forward(self, pkt: Packet, msg: CohMsg) -> None:
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         line = self.array.lookup(base, touch=False)
         if line is None:
             # We no longer hold the line (our PutS/PutM is in flight):
@@ -371,18 +404,16 @@ class L2Cache:
             # Note the bank's grant-then-forward sequence cannot race
             # us, because the NoC is FIFO per route: a Data response
             # always arrives before a later forward from its bank.
-            self.net.send(Packet(
-                src=self.tile, dst=pkt.src, kind=CTRL,
-                payload_bits=control_payload_bits(), dst_port="l3",
+            self.net.send_new(
+                self.tile, pkt.src, CTRL, control_payload_bits(), "l3",
                 body=CohMsg(op="FwdMiss", addr=base, requester=self.tile),
-            ))
+            )
             return
         down_op = "DownDataU" if msg.op == "FwdGetU" else "DownData"
-        self.net.send(Packet(
-            src=self.tile, dst=pkt.src, kind=DATA,
-            payload_bits=data_payload_bits(msg.data_bytes), dst_port="l3",
+        self.net.send_new(
+            self.tile, pkt.src, DATA, data_payload_bits(msg.data_bytes), "l3",
             body=CohMsg(op=down_op, addr=base, requester=msg.requester),
-        ))
+        )
         if msg.op == "FwdGetS":
             line.state = SHARED
             line.dirty = False
@@ -399,5 +430,5 @@ class L2Cache:
         if req.on_done is None:
             return
         lat = self.latency if delay is None else delay
-        result = L2AccessResult(addr=line_addr(req.addr), writable=writable)
+        result = L2AccessResult(addr=req.addr & _LINE_MASK, writable=writable)
         self.sim.schedule(lat, req.on_done, result)

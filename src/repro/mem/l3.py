@@ -26,15 +26,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.mem.addr import LINE_SIZE, NucaMap, line_addr
+from repro.mem.addr import LINE_SIZE, NucaMap
 from repro.mem.cache import CacheArray, EXCLUSIVE, MODIFIED, SHARED
-from repro.mem.coherence import CohMsg, Directory
+from repro.mem.coherence import CohMsg, Directory, acquire_msg
 from repro.mem.dram import DramSystem
 from repro.mem.mshr import MshrFile
 from repro.noc.message import CTRL, DATA, Packet, control_payload_bits, data_payload_bits
 from repro.noc.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 
 # Interned "l3.requests_by_source.<category>" stat names: the f-string
 # ran once per request on the bank's hottest paths.
@@ -91,6 +93,14 @@ class L3Bank:
         self.mshr = MshrFile(mshrs)
         self._waitq: List[tuple] = []  # requests waiting for a free MSHR
         self.dram = dram
+        # Interned counter cells for the bank's hottest stats
+        # (DESIGN.md §12); cells are shared across banks by name.
+        self._c_hits = stats.counter("l3.hits")
+        self._c_misses = stats.counter("l3.misses")
+        self._c_gets = stats.counter("l3.requests.gets")
+        self._c_getx = stats.counter("l3.requests.getx")
+        self._c_stream_float = stats.counter("l3.requests.stream_float")
+        self._src_cells: Dict[str, List[float]] = {}
         # Colocated SE_L3, attached by the tile assembly. The bank
         # notifies it when GetU data it asked for becomes available.
         self.se_l3 = None
@@ -132,13 +142,16 @@ class L3Bank:
             data_bytes=data_bytes, stream_id=stream_id, element=element,
             se_info=on_ready, source=category,
         )
-        values = self.stats._values
-        values["l3.requests.stream_float"] = (
-            values.get("l3.requests.stream_float", 0) + 1
-        )
-        key = _by_source_key(category)
-        values[key] = values.get(key, 0) + 1
+        self._c_stream_float[0] += 1
+        self._src_cell(category)[0] += 1
         self.sim.schedule(self.latency, self._process, self.tile, msg)
+
+    def _src_cell(self, category: str) -> List[float]:
+        cells = self._src_cells
+        if category in cells:
+            return cells[category]
+        cell = cells[category] = self.stats.counter(_by_source_key(category))
+        return cell
 
     # ------------------------------------------------------------------
     # transaction processing
@@ -172,20 +185,21 @@ class L3Bank:
 
     def _demand(self, src: int, msg: CohMsg) -> None:
         """GetS / GetX / GetU head-of-line processing."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         entry = self.mshr.lookup(base)
         if entry is not None:
             # Line transaction in flight: queue and replay later.
             entry.meta.setdefault("queued", []).append((src, msg))
             return
+        op = msg.op
         if not msg.seen:
             msg.seen = True
-            if msg.op == "GetS":
-                self.stats.add("l3.requests.gets")
-                self.stats.add(_by_source_key(msg.source))
-            elif msg.op == "GetX":
-                self.stats.add("l3.requests.getx")
-                self.stats.add(_by_source_key(msg.source))
+            if op == "GetS":
+                self._c_gets[0] += 1
+                self._src_cell(msg.source)[0] += 1
+            elif op == "GetX":
+                self._c_getx[0] += 1
+                self._src_cell(msg.source)[0] += 1
 
         ent = self.dir.peek(base)
         owner = ent.owner if ent else None
@@ -195,7 +209,20 @@ class L3Bank:
 
         line = self.array.lookup(base)
         if line is not None:
-            self.stats.add("l3.hits")
+            self._c_hits[0] += 1
+            if ent is None and op == "GetS":
+                # Uncontended GetS shortcut: no directory entry means
+                # no sharers and no owner, so the grant is exactly the
+                # idle-entry branch of _satisfy (EXCLUSIVE, clean) —
+                # taken inline with a pooled message and packet shell.
+                self.dir.entry(base).owner = msg.requester
+                self.net.send_new(
+                    self.tile, msg.requester, DATA,
+                    data_payload_bits(LINE_SIZE), "l2",
+                    body=acquire_msg("Data", base, msg.requester,
+                                     grant=EXCLUSIVE),
+                )
+                return
             self._satisfy(msg, line_dirty=line.dirty)
             return
 
@@ -205,19 +232,18 @@ class L3Bank:
             self._waitq.append((src, msg))
             self.stats.add("l3.mshr_full_waits")
             return
-        self.stats.add("l3.misses")
+        self._c_misses[0] += 1
         entry = self.mshr.allocate(base, self.sim.now)
         entry.meta["head"] = (src, msg)
         dram_tile = self.dram.controller_tile(base)
-        self.net.send(Packet(
-            src=self.tile, dst=dram_tile, kind=CTRL,
-            payload_bits=control_payload_bits(), dst_port="dram",
-            body=CohMsg(op="MemRead", addr=base, requester=self.tile),
-        ))
+        self.net.send_new(
+            self.tile, dram_tile, CTRL, control_payload_bits(), "dram",
+            body=acquire_msg("MemRead", addr=base, requester=self.tile),
+        )
 
     def _forward_to_owner(self, owner: int, src: int, msg: CohMsg) -> None:
         """Ask the current M/E owner to supply the data."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         if self.mshr.full:
             self._waitq.append((src, msg))
             self.stats.add("l3.mshr_full_waits")
@@ -226,16 +252,15 @@ class L3Bank:
         entry = self.mshr.allocate(base, self.sim.now)
         entry.meta["head"] = (src, msg)
         self.stats.add("l3.forwards")
-        self.net.send(Packet(
-            src=self.tile, dst=owner, kind=CTRL,
-            payload_bits=control_payload_bits(), dst_port="l2",
-            body=CohMsg(op=fwd_op, addr=base, requester=msg.requester,
-                        data_bytes=msg.data_bytes),
-        ))
+        self.net.send_new(
+            self.tile, owner, CTRL, control_payload_bits(), "l2",
+            body=acquire_msg(fwd_op, base, msg.requester,
+                             data_bytes=msg.data_bytes),
+        )
 
     def _satisfy(self, msg: CohMsg, line_dirty: bool) -> None:
         """Line data is available at the bank: grant it."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         if msg.op == "GetU":
             on_ready = msg.se_info
             if callable(on_ready):
@@ -271,20 +296,19 @@ class L3Bank:
                     continue
                 self.dir.invalidations_sent += 1
                 self.stats.add("l3.invalidations")
-                self.net.send(Packet(
-                    src=self.tile, dst=sharer, kind=CTRL,
-                    payload_bits=control_payload_bits(), dst_port="l2",
-                    body=CohMsg(op="Inv", addr=base, requester=msg.requester),
-                ))
+                self.net.send_new(
+                    self.tile, sharer, CTRL, control_payload_bits(), "l2",
+                    body=acquire_msg("Inv", base, msg.requester),
+                )
             grant = MODIFIED
             ent.sharers.clear()
             ent.owner = msg.requester
-        self.net.send(Packet(
-            src=self.tile, dst=msg.requester, kind=DATA,
-            payload_bits=data_payload_bits(LINE_SIZE), dst_port="l2",
-            body=CohMsg(op="Data", addr=base, requester=msg.requester,
-                        grant=grant, dirty=line_dirty and grant == MODIFIED),
-        ))
+        self.net.send_new(
+            self.tile, msg.requester, DATA,
+            data_payload_bits(LINE_SIZE), "l2",
+            body=acquire_msg("Data", base, msg.requester, grant=grant,
+                             dirty=line_dirty and grant == MODIFIED),
+        )
 
     def send_data_u(self, dst: int, msg: CohMsg, dsts: Optional[List[int]] = None) -> None:
         """Uncached data response(s) to SE_L2 buffers.
@@ -292,7 +316,7 @@ class L3Bank:
         ``dsts`` (multicast, stream confluence) overrides ``dst``.
         """
         body = CohMsg(
-            op="DataU", addr=line_addr(msg.addr), requester=msg.requester,
+            op="DataU", addr=msg.addr & _LINE_MASK, requester=msg.requester,
             data_bytes=msg.data_bytes, stream_id=msg.stream_id,
             element=msg.element,
         )
@@ -303,23 +327,24 @@ class L3Bank:
                 payload_bits=payload, dst_port="se_l2", body=body,
             )
         else:
+            # Unicast DataU: pooled packet shell, but the body stays a
+            # plain allocation — the SE_L2 may park it on a stream.
             target = dsts[0] if dsts else dst
-            self.net.send(Packet(
-                src=self.tile, dst=target, kind=DATA,
-                payload_bits=payload, dst_port="se_l2", body=body,
-            ))
+            self.net.send_new(
+                self.tile, target, DATA, payload, "se_l2", body=body,
+            )
 
     # ------------------------------------------------------------------
     # fills and completions
     # ------------------------------------------------------------------
     def _mem_data(self, msg: CohMsg) -> None:
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         self._fill(base, dirty=False)
         self._complete(base)
 
     def _down_data(self, msg: CohMsg) -> None:
         """Owner's writeback after FwdGetS/FwdGetX."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         line = self.array.lookup(base)
         if line is None:
             self._fill(base, dirty=True)
@@ -342,20 +367,20 @@ class L3Bank:
 
     def _down_data_u(self, msg: CohMsg) -> None:
         """Owner supplied data for a GetU without state change."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         self._complete(base)
 
     def _fwd_miss(self, msg: CohMsg) -> None:
         """The owner no longer had the line: clear stale ownership and
         retry the queued head transaction."""
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         entry = self.mshr.lookup(base)
         self.dir.remove(base, msg.requester)
         if entry is None:
             return
         src, head = entry.meta["head"]
         queued = entry.meta.get("queued", [])
-        self.mshr.release(base)
+        self.mshr.recycle(self.mshr.release(base))
         self.stats.add("l3.fwd_misses")
         self.sim.schedule(self.latency, self._process, src, head)
         for qsrc, qmsg in queued:
@@ -370,7 +395,7 @@ class L3Bank:
             return
         src, head = entry.meta["head"]
         queued = entry.meta.get("queued", [])
-        self.mshr.release(base)
+        self.mshr.recycle(self.mshr.release(base))
         line = self.array.lookup(base, touch=False)
         self._satisfy(head, line_dirty=bool(line and line.dirty))
         for qsrc, qmsg in queued:
@@ -393,7 +418,7 @@ class L3Bank:
         self._drain_waitq()
 
     def _put_m(self, src: int, msg: CohMsg) -> None:
-        base = line_addr(msg.addr)
+        base = msg.addr & _LINE_MASK
         self.stats.add("l3.putm")
         line = self.array.lookup(base, touch=False)
         if line is None:
@@ -401,11 +426,10 @@ class L3Bank:
         else:
             line.dirty = True
         self.dir.remove(base, msg.requester)
-        self.net.send(Packet(
-            src=self.tile, dst=msg.requester, kind=CTRL,
-            payload_bits=control_payload_bits(), dst_port="l2",
-            body=CohMsg(op="PutAck", addr=base, requester=msg.requester),
-        ))
+        self.net.send_new(
+            self.tile, msg.requester, CTRL, control_payload_bits(), "l2",
+            body=acquire_msg("PutAck", base, msg.requester),
+        )
 
     def _fill(self, base: int, dirty: bool) -> None:
         """Insert a line, back-invalidating the victim's sharers
@@ -428,18 +452,15 @@ class L3Bank:
                 targets.add(ent.owner)
             for tile in sorted(targets):
                 self.stats.add("l3.back_invalidations")
-                self.net.send(Packet(
-                    src=self.tile, dst=tile, kind=CTRL,
-                    payload_bits=control_payload_bits(), dst_port="l2",
-                    body=CohMsg(op="Inv", addr=evicted.addr,
-                                requester=self.tile,
-                                writeback_to_dram=True),
-                ))
+                self.net.send_new(
+                    self.tile, tile, CTRL, control_payload_bits(), "l2",
+                    body=acquire_msg("Inv", evicted.addr, self.tile,
+                                     writeback_to_dram=True),
+                )
         if evicted.dirty:
             dram_tile = self.dram.controller_tile(evicted.addr)
-            self.net.send(Packet(
-                src=self.tile, dst=dram_tile, kind=DATA,
-                payload_bits=data_payload_bits(LINE_SIZE), dst_port="dram",
-                body=CohMsg(op="MemWrite", addr=evicted.addr,
-                            requester=self.tile),
-            ))
+            self.net.send_new(
+                self.tile, dram_tile, DATA,
+                data_payload_bits(LINE_SIZE), "dram",
+                body=acquire_msg("MemWrite", evicted.addr, self.tile),
+            )

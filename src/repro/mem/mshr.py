@@ -72,9 +72,14 @@ class MshrFile:
         self.capacity = capacity
         self._entries: Dict[int, MshrEntry] = {}
         self._free: List[MshrEntry] = [MshrEntry() for _ in range(capacity)]
+        # Slots on loan to fill paths (released but not yet recycled).
+        # Invariant: len(_entries) + len(_free) + _lent == capacity.
+        self._lent = 0
 
     def lookup(self, addr: int) -> Optional[MshrEntry]:
-        return self._entries.get(addr & _LINE_MASK)
+        base = addr & _LINE_MASK
+        entries = self._entries
+        return entries[base] if base in entries else None
 
     @property
     def full(self) -> bool:
@@ -87,10 +92,16 @@ class MshrFile:
         if base in entries:
             raise ValueError(f"MSHR already allocated for {base:#x}")
         free = self._free
-        if not free:
+        if free:
+            entry = free.pop()
+            entry._reset(base, now)
+        elif self._lent:
+            # All idle slots are on loan to fill paths; materialize the
+            # loaned slot's replacement only now that it is needed.
+            self._lent -= 1
+            entry = MshrEntry(base, now)
+        else:
             raise RuntimeError("MSHR file full")
-        entry = free.pop()
-        entry._reset(base, now)
         entries[base] = entry
         return entry
 
@@ -106,18 +117,16 @@ class MshrFile:
         entry = self._entries.pop(base, None)
         if entry is None:
             raise KeyError(f"no MSHR for {base:#x}")
-        self._free.append(MshrEntry())
+        self._lent += 1
         return entry
 
     def recycle(self, entry: MshrEntry) -> None:
-        """Return a detached entry's storage to the pool, displacing
-        the placeholder :meth:`release` appended (keeps the pool at
-        ``capacity`` while reusing the hot object)."""
-        free = self._free
-        if free:
-            free[-1] = entry
-        else:
-            free.append(entry)
+        """Return a detached entry's storage to the pool, repaying the
+        loan :meth:`release` recorded (keeps the pool at ``capacity``
+        while reusing the hot object)."""
+        if self._lent:
+            self._lent -= 1
+            self._free.append(entry)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.noc.message import TRAFFIC_CLASSES, Packet
+from repro.noc.message import TRAFFIC_CLASSES, Packet, _packet_ids
 from repro.noc.topology import Link, Mesh
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
@@ -61,13 +61,29 @@ class Network:
         self._busy_until: Dict[Link, int] = {}
         self._handlers: Dict[Tuple[int, str], Handler] = {}
         # Hot-path caches: X-Y routes are static per (src, dst) pair,
-        # and the dotted stat names are static per traffic class.
+        # flit counts are static per payload size, and the per-class
+        # accounting updates interned counter cells (DESIGN.md §12).
         self._route_cache: Dict[Tuple[int, int], List[Link]] = {}
-        self._stat_keys: Dict[str, Tuple[str, str, str]] = {}
+        self._flits_cache: Dict[int, int] = {}
+        self._stat_cells: Dict[str, Tuple[List[int], List[int], List[int]]] = {}
+        # Lane cache: everything static per (src, dst, kind, payload,
+        # port) — route, flit count, stat cells, the local pseudo-link,
+        # and a shared DeliveryInfo (callers only read it) — so send()
+        # runs traversal, accounting and delivery scheduling without
+        # calling _traverse/_record/_deliver_at per packet.
+        self._lanes: Dict[Tuple[int, int, str, int, str], tuple] = {}
+        self._tree_cache: Dict[Tuple[int, Tuple[int, ...]], tuple] = {}
         # Deliveries arriving at the same cycle share one kernel event:
         # arrival cycle -> [(handler, packet), ...] in send order. A
         # batch exists for a cycle iff its drain event is scheduled.
         self._arrivals: Dict[int, List[Tuple[Handler, Packet]]] = {}
+        # Packet free-list (DESIGN.md §12): with pooling enabled the
+        # network reclaims every delivered packet shell (no handler
+        # retains the Packet object — bodies have their own lifetime)
+        # and send_new() reuses them. Pooling is vetoed by observers
+        # (sim.pooling), which may retain packet references.
+        self._pooling = getattr(sim, "pooling", False)
+        self._pkt_free: List[Packet] = []
         # The network is built before every endpoint, so registering
         # here lets the sanitizer wrap all handlers as they attach.
         san = getattr(sim, "sanitizer", None)
@@ -76,6 +92,12 @@ class Network:
         tel = getattr(sim, "telemetry", None)
         if tel is not None:
             tel.watch_network(self)
+        # Observers (sanitizer/telemetry) interpose on _deliver_at by
+        # assigning an instance attribute; when they do, send() must
+        # route deliveries through the wrapper instead of appending to
+        # the arrival batch directly. All wrapping happens above, so
+        # one check here covers the network's lifetime.
+        self._observed = "_deliver_at" in self.__dict__
 
     # ------------------------------------------------------------------
     # wiring
@@ -90,22 +112,117 @@ class Network:
     # ------------------------------------------------------------------
     # unicast
     # ------------------------------------------------------------------
+    def send_new(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload_bits: int,
+        dst_port: str,
+        body=None,
+        extra_delay: int = 0,
+    ) -> DeliveryInfo:
+        """Allocate a packet (from the free-list when pooling is on)
+        and send it. Hot senders use this instead of ``send(Packet(...))``
+        so delivered shells cycle back instead of being garbage."""
+        free = self._pkt_free
+        if free:
+            packet = free.pop()
+            packet.src = src
+            packet.dst = dst
+            packet.kind = kind
+            packet.payload_bits = payload_bits
+            packet.dst_port = dst_port
+            packet.body = body
+            packet.pid = next(_packet_ids)
+        else:
+            packet = Packet(src, dst, kind, payload_bits, dst_port, body)
+        return self.send(packet, extra_delay)
+
     def send(self, packet: Packet, extra_delay: int = 0) -> DeliveryInfo:
         """Inject ``packet`` now (+``extra_delay``); returns accounting
-        info immediately while delivery is scheduled asynchronously."""
-        flits = packet.flits(self.link_bits)
-        key = (packet.src, packet.dst)
-        route = self._route_cache.get(key)
+        info immediately while delivery is scheduled asynchronously.
+
+        This is the fused hot path (DESIGN.md §12): one lane-cache
+        probe replaces the per-packet route/flits/handler/stat-cell
+        lookups, and traversal, accounting and delivery scheduling run
+        inline instead of as three method calls. The timing math is
+        byte-for-byte the old _traverse/_deliver_at logic.
+        """
+        lanes = self._lanes
+        key = (packet.src, packet.dst, packet.kind,
+               packet.payload_bits, packet.dst_port)
+        lane = lanes[key] if key in lanes else self._make_lane(key, packet)
+        route, flits, hkey, c_pkts, c_flits, c_fhops, info, local_link = lane
+        sim = self.sim
+        busy = self._busy_until
+        hop = self.hop_latency
+        head = sim.now + extra_delay
+        for link in route:
+            if link in busy:
+                depart = busy[link]
+                if depart < head:
+                    depart = head
+            else:
+                depart = head
+            busy[link] = depart + flits
+            head = depart + hop
+        if local_link is not None:
+            # Same-tile delivery: serialize on the per-tile pseudo-link
+            # so delivery order matches send order there too.
+            if local_link in busy:
+                depart = busy[local_link]
+                if depart < head:
+                    depart = head
+            else:
+                depart = head
+            busy[local_link] = depart + flits
+            head = depart + self.LOCAL_LATENCY
+        when = head + flits - 1
+        c_pkts[0] += 1
+        c_flits[0] += flits
+        c_fhops[0] += info.flit_hops
+        if self._observed:
+            self._deliver_at(when, packet)
+            return info
+        now = sim.now
+        if when < now:
+            when = now
+        arrivals = self._arrivals
+        if when in arrivals:
+            arrivals[when].append((self._handlers[hkey], packet))
+        else:
+            arrivals[when] = [(self._handlers[hkey], packet)]
+            sim.schedule_at(when, self._drain_cycle, when)
+        return info
+
+    def _make_lane(self, key: Tuple[int, int, str, int, str],
+                   packet: Packet) -> tuple:
+        src, dst, kind, payload, dst_port = key
+        flits = self._flits_cache.get(payload)
+        if flits is None:
+            flits = self._flits_cache[payload] = packet.flits(self.link_bits)
+        route = self._route_cache.get((src, dst))
         if route is None:
-            route = self._route_cache[key] = self.mesh.route(*key)
-        arrival = self._traverse(
-            route, self.sim.now + extra_delay, flits, local_key=packet.dst,
+            route = self._route_cache[(src, dst)] = self.mesh.route(src, dst)
+        hkey = (dst, dst_port)
+        if hkey not in self._handlers:
+            raise KeyError(f"no handler at tile {dst} port {dst_port!r}")
+        cells = self._stat_cells.get(kind)
+        if cells is None:
+            cells = self._stat_cells[kind] = (
+                self.stats.counter(f"noc.packets.{kind}"),
+                self.stats.counter(f"noc.flits.{kind}"),
+                self.stats.counter(f"noc.flit_hops.{kind}"),
+            )
+        hops = len(route)
+        lane = (
+            route, flits, hkey, cells[0], cells[1], cells[2],
+            DeliveryInfo(flits=flits, hops=hops, flit_hops=flits * hops),
+            (dst, dst) if not route else None,
         )
-        self._record(packet.kind, flits, len(route))
-        self._deliver_at(arrival, packet)
-        return DeliveryInfo(
-            flits=flits, hops=len(route), flit_hops=flits * len(route)
-        )
+        self._lanes[key] = lane
+        return lane
 
     def _traverse(
         self, route: List[Link], inject_time: int, flits: int,
@@ -164,9 +281,37 @@ class Network:
         delivery is still one logical event for ``events_executed``.
         """
         batch = self._arrivals.pop(when)
-        self.sim.count_inlined_events(len(batch) - 1)
-        for handler, packet in batch:
+        sim = self.sim
+        pool = self._pkt_free if self._pooling else None
+        n = len(batch)
+        if n == 1:
+            # Singleton batch: the handler runs in tail position, so
+            # nested handler fusions stay available.
+            handler, packet = batch[0]
             handler(packet)
+            if pool is not None:
+                packet.body = None
+                pool.append(packet)
+            return
+        sim.count_inlined_events(n - 1)
+        # The undrained tail of the batch is invisible to the event
+        # queue, so nested handler fusions must stand down while it
+        # exists (DESIGN.md §12); the final handler runs unguarded,
+        # back in tail position.
+        sim._inline_depth += 1
+        try:
+            for handler, packet in batch[:-1]:
+                handler(packet)
+                if pool is not None:
+                    packet.body = None
+                    pool.append(packet)
+        finally:
+            sim._inline_depth -= 1
+        handler, packet = batch[n - 1]
+        handler(packet)
+        if pool is not None:
+            packet.body = None
+            pool.append(packet)
 
     # ------------------------------------------------------------------
     # multicast
@@ -189,9 +334,21 @@ class Network:
             src=src, dst=dsts[0], kind=kind,
             payload_bits=payload_bits, dst_port=dst_port, body=body,
         )
-        flits = template.flits(self.link_bits)
-        routes = self.mesh.multicast_tree(src, dsts)
-        tree_links = Mesh.unique_links(routes)
+        flits = self._flits_cache.get(payload_bits)
+        if flits is None:
+            flits = self._flits_cache[payload_bits] = template.flits(self.link_bits)
+        # X-Y trees are static per (src, destination set): confluence
+        # groups multicast the same set for every element, so cache the
+        # routes and the deduplicated tree links alongside the unicast
+        # lane cache.
+        tree_key = (src, tuple(dsts))
+        cached = self._tree_cache.get(tree_key)
+        if cached is None:
+            routes = self.mesh.multicast_tree(src, dsts)
+            tree_links = Mesh.unique_links(routes)
+            cached = self._tree_cache[tree_key] = (routes, tree_links)
+        else:
+            routes, tree_links = cached
         # Reserve each tree link once; per-destination arrival follows
         # its own route's (already reserved) links.
         depart_at: Dict[Link, int] = {}
@@ -229,22 +386,18 @@ class Network:
     # accounting
     # ------------------------------------------------------------------
     def _record(self, kind: str, flits: int, hops: int) -> None:
-        keys = self._stat_keys.get(kind)
-        if keys is None:
-            keys = self._stat_keys[kind] = (
-                f"noc.packets.{kind}",
-                f"noc.flits.{kind}",
-                f"noc.flit_hops.{kind}",
+        cells = self._stat_cells.get(kind)
+        if cells is None:
+            cells = self._stat_cells[kind] = (
+                self.stats.counter(f"noc.packets.{kind}"),
+                self.stats.counter(f"noc.flits.{kind}"),
+                self.stats.counter(f"noc.flit_hops.{kind}"),
             )
-        # Direct counter updates: Stats.add is a method call per counter
+        # Interned cell updates: Stats.add is a method call per counter
         # and this runs three times per packet.
-        values = self.stats._values
-        k = keys[0]
-        values[k] = values.get(k, 0) + 1
-        k = keys[1]
-        values[k] = values.get(k, 0) + flits
-        k = keys[2]
-        values[k] = values.get(k, 0) + flits * hops
+        cells[0][0] += 1
+        cells[1][0] += flits
+        cells[2][0] += flits * hops
 
     def utilization(self, cycles: int) -> float:
         """Average link utilization: flit-hops / (links x cycles)."""

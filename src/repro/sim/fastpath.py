@@ -1,0 +1,28 @@
+"""Handler-layer fast-path gate (DESIGN.md §12).
+
+The fast paths fuse uncontended handler chains into synchronous
+calls, intern hot counters, pool messages and batch affine issue.
+They are **on by default** and must be architecturally invisible:
+cycles and every architectural stat are byte-identical with the
+fast paths disabled.  ``REPRO_FASTPATH=0`` restores the fully
+event-driven reference path (the equivalence suite runs both and
+diffs them).
+
+The gate is resolved once per :class:`~repro.sim.kernel.Simulator`
+construction and cached on the instance as ``sim.fastpath`` so hot
+handlers test one attribute instead of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_FASTPATH = "REPRO_FASTPATH"
+
+_OFF_VALUES = ("0", "off", "false", "no")
+
+
+def enabled() -> bool:
+    """True unless ``REPRO_FASTPATH`` opts out (default: on)."""
+    value = os.environ.get(ENV_FASTPATH, "1")
+    return value.strip().lower() not in _OFF_VALUES

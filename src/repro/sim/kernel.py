@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import telemetry as _telemetry
+from repro.sim import fastpath as _fastpath
 from repro.sim import sanitizer as _sanitizer
 
 ENV_KERNEL = "REPRO_KERNEL"
@@ -77,6 +79,12 @@ class Simulator:
         self.now: int = 0
         self._seq: int = 0
         self._events_executed: int = 0
+        self._events_inlined: int = 0
+        # Depth of handler-layer fused loops currently on the stack.
+        # While positive, can_inline() reports False: a fused loop
+        # holds callbacks in a local list the queue cannot see, so a
+        # nested fusion would run ahead of them (DESIGN.md §12).
+        self._inline_depth: int = 0
         self._init_queue()
         # None unless REPRO_SANITIZE enables invariant checking; when
         # attached, components register themselves at construction.
@@ -85,6 +93,20 @@ class Simulator:
         # The sanitizer attaches first so its step hook sits closest
         # to the kernel and hashes the same event stream either way.
         self.telemetry = _telemetry.maybe_attach(self)
+        # Handler fast paths (REPRO_FASTPATH, default on) fuse
+        # uncontended event chains into synchronous calls that credit
+        # count_inlined_events(). Fusion changes the *event stream*
+        # (hence the S5 trace hash) but never cycles or architectural
+        # stats (DESIGN.md §12). Telemetry vetoes fusion: its wrappers
+        # publish after their inner handler returns, so a fused callback
+        # chain would invert observer ordering (e.g. a span closing
+        # before the hop that produced it). The sanitizer does not —
+        # tier-1 runs exercise the fused paths, and the S5 hash change
+        # is regenerated deliberately. Message pooling additionally
+        # requires no sanitizer, since observers may retain references
+        # past a message's handler.
+        self.fastpath = _fastpath.enabled() and self.telemetry is None
+        self.pooling = self.fastpath and self.sanitizer is None
 
     # -- backend hooks -------------------------------------------------
     def _init_queue(self) -> None:
@@ -150,11 +172,29 @@ class Simulator:
         """Total number of events run so far."""
         return self._events_executed
 
+    @property
+    def events_inlined(self) -> int:
+        """Logical events that ran fused/batched instead of through a
+        kernel dispatch (a subset of ``events_executed``)."""
+        return self._events_inlined
+
     def count_inlined_events(self, n: int) -> None:
         """Account ``n`` callbacks executed inside a batching event
         (e.g. the NoC's per-cycle delivery drain) so ``events_executed``
         keeps counting logical events, not just kernel dispatches."""
         self._events_executed += n
+        self._events_inlined += n
+
+    def can_inline(self) -> bool:
+        """True when nothing is pending at the current cycle, so a
+        handler may run a zero-delay callback synchronously instead of
+        scheduling it: with an empty current-cycle queue the scheduled
+        callback would execute next anyway, and anything the callback
+        itself schedules lands behind it in FIFO order either way
+        (DESIGN.md §12). When another event *is* pending this cycle,
+        fusing would jump the queue — callers must fall back to
+        ``schedule(0, ...)``."""
+        raise NotImplementedError
 
     def peek_time(self) -> Optional[int]:
         """Cycle of the next pending event, or ``None`` if queue empty."""
@@ -227,6 +267,12 @@ class HeapSimulator(Simulator):
     def events_pending(self) -> int:
         return len(self._queue)
 
+    def can_inline(self) -> bool:
+        if self._inline_depth:
+            return False
+        queue = self._queue
+        return not queue or queue[0][0] != self.now
+
     def peek_event(self) -> Optional[Tuple[int, Callable[..., Any]]]:
         if not self._queue:
             return None
@@ -275,17 +321,18 @@ class CalendarSimulator(Simulator):
       into their buckets immediately — before any direct insert for
       those cycles is possible — keyed by ``(when, seq)`` so per-cycle
       FIFO order is preserved across the migration;
-    - only the current cycle's bucket is ever partially consumed
-      (``_pos`` is its consumed prefix); it is cleared the moment its
-      cycle completes, so a ring scan never sees stale entries.
+    - buckets are deques consumed from the left as they execute, so a
+      bucket always holds exactly the *pending* events of its cycle;
+      ``can_inline()`` is then a free emptiness test on the current
+      bucket, which is what gates the handler-layer zero-delay
+      fusions (DESIGN.md §12).
     """
 
     RING = 2048  # bucket count; must be a power of two
 
     def _init_queue(self) -> None:
         self._mask = self.RING - 1
-        self._buckets: List[list] = [[] for _ in range(self.RING)]
-        self._pos = 0  # consumed prefix of the current cycle's bucket
+        self._buckets: List[deque] = [deque() for _ in range(self.RING)]
         self._ring_count = 0  # pending events across all buckets
         self._overflow: List[Tuple[int, int, Callable[..., Any], tuple]] = []
 
@@ -344,10 +391,6 @@ class CalendarSimulator(Simulator):
     def _advance_to(self, when: int) -> None:
         if when == self.now:
             return
-        bucket = self._buckets[self.now & self._mask]
-        if self._pos:
-            bucket.clear()
-            self._pos = 0
         self.now = when
         overflow = self._overflow
         if overflow and overflow[0][0] < when + self.RING:
@@ -364,14 +407,16 @@ class CalendarSimulator(Simulator):
     def events_pending(self) -> int:
         return self._ring_count + len(self._overflow)
 
+    def can_inline(self) -> bool:
+        return (
+            not self._inline_depth
+            and not self._buckets[self.now & self._mask]
+        )
+
     def peek_event(self) -> Optional[Tuple[int, Callable[..., Any]]]:
         bucket = self._buckets[self.now & self._mask]
-        pos = self._pos
-        if pos < len(bucket):
-            return self.now, bucket[pos][0]
-        if pos:
-            bucket.clear()
-            self._pos = 0
+        if bucket:
+            return self.now, bucket[0][0]
         if self._ring_count:
             buckets = self._buckets
             mask = self._mask
@@ -391,9 +436,7 @@ class CalendarSimulator(Simulator):
         when = nxt[0]
         if when != self.now:
             self._advance_to(when)
-        bucket = self._buckets[when & self._mask]
-        fn, args = bucket[self._pos]
-        self._pos += 1
+        fn, args = self._buckets[when & self._mask].popleft()
         self._ring_count -= 1
         self._events_executed += 1
         fn(*args)
@@ -405,11 +448,7 @@ class CalendarSimulator(Simulator):
         budget = max_events if max_events is not None else None
         while True:
             bucket = buckets[self.now & mask]
-            pos = self._pos
-            if pos >= len(bucket):
-                if pos:
-                    bucket.clear()
-                    pos = self._pos = 0
+            if not bucket:
                 if self._ring_count:
                     c = self.now + 1
                     while not buckets[c & mask]:
@@ -423,27 +462,35 @@ class CalendarSimulator(Simulator):
                 self._advance_to(c)
                 bucket = buckets[c & mask]
             # Drain the current cycle. Zero-delay events append to this
-            # same bucket mid-drain; indexing past the end (rather than
-            # re-checking len() per event) detects exhaustion.
+            # same bucket mid-drain and are picked up by the emptiness
+            # test; fused (inlined) callbacks never enter the bucket at
+            # all and are accounted via count_inlined_events.
             consumed = 0
+            popleft = bucket.popleft
+            if budget is None:
+                # Unbudgeted drain (the normal full-run case): no
+                # per-event budget bookkeeping in the loop.
+                try:
+                    while bucket:
+                        fn, args = popleft()
+                        consumed += 1
+                        fn(*args)
+                finally:
+                    self._ring_count -= consumed
+                    self._events_executed += consumed
+                continue
             try:
-                while True:
-                    try:
-                        fn, args = bucket[pos]
-                    except IndexError:
-                        break  # cycle exhausted
-                    pos += 1
+                while bucket:
+                    fn, args = popleft()
                     consumed += 1
                     fn(*args)
-                    if budget is not None:
-                        budget -= 1
-                        if budget <= 0:
-                            break
+                    budget -= 1
+                    if budget <= 0:
+                        break
             finally:
-                self._pos = pos
                 self._ring_count -= consumed
                 self._events_executed += consumed
-            if budget is not None and budget <= 0:
+            if budget <= 0:
                 return self.now
         if until is not None and self.now < until:
             self._advance_to(until)

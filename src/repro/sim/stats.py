@@ -20,15 +20,48 @@ class Stats:
     are ints or floats; missing counters read as 0.
     """
 
+    __slots__ = ("_values", "_cells")
+
     def __init__(self) -> None:
         # A plain dict: reads must never insert keys. The previous
         # defaultdict let maximize/get materialize a 0 baseline as a
         # read side-effect, so a first *negative* maximize was lost.
         self._values: Dict[str, float] = {}
+        # Interned counter cells (DESIGN.md §12): ``counter(name)``
+        # hands out a one-element list whose slot the hot path
+        # increments directly; pending deltas fold into _values on
+        # every read. Increments are commutative with add(), so a
+        # name may be driven through both APIs.
+        self._cells: Dict[str, List[float]] = {}
+
+    def counter(self, name: str) -> List[float]:
+        """Interned fast counter for ``name``: a one-element list.
+
+        Hot handlers hoist ``cell = stats.counter("x")`` once and pay
+        a single ``cell[0] += n`` per event; the pending delta folds
+        into the value map on any read. Do not mix with :meth:`set`
+        or :meth:`maximize` on the same name.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = self._cells[name] = [0]
+        return cell
+
+    def _flush(self) -> None:
+        """Fold pending interned-cell deltas into the value map."""
+        values = self._values
+        for name, cell in self._cells.items():
+            delta = cell[0]
+            if delta:
+                cell[0] = 0
+                values[name] = values.get(name, 0) + delta
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._values[name] = self._values.get(name, 0) + amount
+        try:
+            self._values[name] += amount
+        except KeyError:
+            self._values[name] = amount
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter ``name``."""
@@ -37,20 +70,29 @@ class Stats:
     def maximize(self, name: str, value: float) -> None:
         """Keep the maximum *seen* value in ``name`` — the first value
         always records, even when negative."""
-        if name not in self._values or value > self._values[name]:
+        prev = self._values.get(name)
+        if prev is None or value > prev:
             self._values[name] = value
 
     def get(self, name: str, default: float = 0) -> float:
+        if self._cells:
+            self._flush()
         return self._values.get(name, default)
 
     def __getitem__(self, name: str) -> float:
+        if self._cells:
+            self._flush()
         return self._values.get(name, 0)
 
     def __contains__(self, name: str) -> bool:
+        if self._cells:
+            self._flush()
         return name in self._values
 
     def group(self, prefix: str) -> Dict[str, float]:
         """All counters under ``prefix.`` with the prefix stripped."""
+        if self._cells:
+            self._flush()
         cut = len(prefix) + 1
         return {
             name[cut:]: value
@@ -64,17 +106,25 @@ class Stats:
 
     def merge(self, other: "Stats") -> None:
         """Add every counter from ``other`` into this object."""
+        if other._cells:
+            other._flush()
         for name, value in other._values.items():
-            self._values[name] = self._values.get(name, 0) + value
+            self.add(name, value)
 
     def items(self) -> Iterator[Tuple[str, float]]:
+        if self._cells:
+            self._flush()
         return iter(sorted(self._values.items()))
 
     def as_dict(self) -> Dict[str, float]:
+        if self._cells:
+            self._flush()
         return dict(self._values)
 
     # Serialization (the disk run-cache stores stats as plain JSON).
     def to_dict(self) -> Dict[str, float]:
+        if self._cells:
+            self._flush()
         return dict(self._values)
 
     @classmethod
@@ -86,6 +136,8 @@ class Stats:
 
     def dump(self) -> str:
         """Human-readable listing, one counter per line."""
+        if self._cells:
+            self._flush()
         width = max((len(k) for k in self._values), default=0)
         lines = [f"{k:<{width}}  {v:g}" for k, v in sorted(self._values.items())]
         return "\n".join(lines)
@@ -93,6 +145,8 @@ class Stats:
 
 class Histogram:
     """A simple bucketed histogram for latency-style distributions."""
+
+    __slots__ = ("bucket_size", "_buckets", "count", "sum", "_min", "_max")
 
     def __init__(self, bucket_size: int = 16) -> None:
         if bucket_size <= 0:

@@ -41,10 +41,10 @@ class StreamHistoryTable:
         self._entries: Dict[int, HistoryEntry] = {}
 
     def entry(self, sid: int) -> HistoryEntry:
-        ent = self._entries.get(sid)
-        if ent is None:
-            ent = HistoryEntry(sid=sid)
-            self._entries[sid] = ent
+        entries = self._entries
+        if sid in entries:
+            return entries[sid]
+        ent = entries[sid] = HistoryEntry(sid=sid)
         return ent
 
     def record_request(self, sid: int) -> None:

@@ -55,14 +55,18 @@ class CoreStream:
     children: List["CoreStream"] = field(default_factory=list)
     parent: Optional["CoreStream"] = None
     addr_range: tuple = (0, 0)
+    # Snapshots of immutable spec properties (the ``length`` property
+    # walks into ``len(pattern)`` on every access — hot in _pump).
+    sid: int = field(init=False, default=0)
+    length: int = field(init=False, default=0)
+    # Vectorized store-address buffer: ``addresses()`` chunk covering
+    # [addr_buf_start, addr_buf_start + len(addr_buf)).
+    addr_buf: list = field(init=False, default_factory=list)
+    addr_buf_start: int = field(init=False, default=-1)
 
-    @property
-    def sid(self) -> int:
-        return self.spec.sid
-
-    @property
-    def length(self) -> int:
-        return self.spec.length
+    def __post_init__(self) -> None:
+        self.sid = self.spec.sid
+        self.length = self.spec.length
 
     def ready_through(self) -> int:
         """Highest contiguous ready element index (exclusive)."""
@@ -103,6 +107,7 @@ class SECore:
         self.indirect_float_enabled = indirect_float_enabled
         self.history = history or StreamHistoryTable()
         self.streams: Dict[int, CoreStream] = {}
+        self._c_requests = stats.counter("se_core.requests")
         if se_l2 is not None:
             se_l2.se_core = self
         tel = getattr(sim, "telemetry", None)
@@ -306,8 +311,7 @@ class SECore:
     ) -> None:
         addr = stream.spec.pattern.address(idx)
         sid = stream.sid
-        values = self.stats._values
-        values["se_core.requests"] = values.get("se_core.requests", 0) + count
+        self._c_requests[0] += count
 
         if count == 1:
             def on_done() -> None:
@@ -388,6 +392,10 @@ class SECore:
             on_ready()
 
         if idx in stream.ready:
+            # NOT fused: consume() is called mid-handler (the core keeps
+            # dispatching after it returns), so running deliver() here
+            # would reorder it ahead of the caller's remaining same-cycle
+            # work — unlike the tail-position fusions in l1/l2 (§12).
             self.sim.schedule(0, deliver)
         else:
             stream.waiters.setdefault(idx, []).append(deliver)
@@ -395,13 +403,33 @@ class SECore:
             if stream.next_issue <= idx:
                 self._pump(stream)
 
+    ADDR_CHUNK = 64  # elements per vectorized addresses() batch
+
     def store_next(self, sid: int) -> int:
-        """stream_store: generate the next store address and advance."""
+        """stream_store: generate the next store address and advance.
+
+        Store streams walk their pattern strictly sequentially, so the
+        address generation is vectorized: one ``addresses()`` batch
+        per :data:`ADDR_CHUNK` elements instead of one mixed-radix
+        ``address()`` computation per store.
+        """
         stream = self.streams[sid]
         idx = stream.claimed
         stream.claimed = idx + 1
         stream.freed = idx + 1
-        return stream.spec.pattern.address(idx)
+        start = stream.addr_buf_start
+        buf = stream.addr_buf
+        if start < 0 or not (start <= idx < start + len(buf)):
+            pattern = stream.spec.pattern
+            count = min(self.ADDR_CHUNK, stream.length - idx)
+            if count > 1 and isinstance(pattern, AffinePattern):
+                chunk = pattern.addresses(idx, count)
+                buf = chunk.tolist() if hasattr(chunk, "tolist") else chunk
+            else:
+                buf = [pattern.address(idx)]
+            stream.addr_buf = buf
+            stream.addr_buf_start = start = idx
+        return buf[idx - start]
 
     # ------------------------------------------------------------------
     # memory disambiguation (PEB, SS IV-E)

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.mem.addr import NucaMap, line_addr
+from repro.mem.addr import LINE_SIZE, NucaMap, line_addr
+
+_LINE_MASK = ~(LINE_SIZE - 1)  # line_addr(), inlined for the hot paths
 from repro.mem.l2 import L2AccessResult, L2Cache, L2Request
 from repro.mem.tlb import Tlb
 from repro.noc.message import STREAM, Packet
@@ -76,6 +78,11 @@ class BufferedStream:
     # Incarnation counter (a sid can sink and re-float): stamped on
     # every config/credit/end message so SE_L3s can drop stale ones.
     epoch: int = 0
+    # idx -> line base of element idx; the pattern is immutable for the
+    # life of this buffered incarnation, so the dirty-evict alias scan
+    # (on_dirty_evict) memoizes instead of re-evaluating the pattern
+    # for every buffered element on every eviction.
+    line_memo: Dict[int, int] = field(default_factory=dict)
 
     @property
     def sid(self) -> int:
@@ -119,6 +126,9 @@ class SEL2:
         # sync by float/follow/end so the hot lookup is one dict get.
         self._sid_index: Dict[int, Tuple[BufferedStream, str]] = {}
         self._epochs: Dict[int, int] = {}  # sid -> last float epoch
+        # Interned counter cells for the per-element hot path.
+        self._c_intercepts = stats.counter("se_l2.intercepts")
+        self._c_data_arrivals = stats.counter("se_l2.data_arrivals")
         self.se_core = None  # wired by SECore.__init__
         l2.se_l2 = self
         net.register(tile, "se_l2", self.handle)
@@ -264,7 +274,8 @@ class SEL2:
         itself ("leader"), an indirect child, or a follower."""
         if sid is None:
             return None
-        return self._sid_index.get(sid)
+        index = self._sid_index
+        return index[sid] if sid in index else None
 
     def _find(self, sid: Optional[int]) -> Optional[BufferedStream]:
         hit = self._resolve(sid)
@@ -279,7 +290,7 @@ class SEL2:
             self._bounce_to_memory(req)
             return
         stream, role = hit
-        self.stats.add("se_l2.intercepts")
+        self._c_intercepts[0] += 1
         idx = req.element
         if role == "leader":
             if idx < stream.start_idx:
@@ -343,7 +354,7 @@ class SEL2:
         if stream is None:
             self.stats.add("se_l2.orphan_data")
             return
-        self.stats.add("se_l2.data_arrivals")
+        self._c_data_arrivals[0] += 1
         idx = body.element
         if sid == stream.sid:
             # Credits chase the *parent* stream's data source (child
@@ -353,8 +364,14 @@ class SEL2:
                 stream.visited_banks.add(pkt.src)
             if isinstance(idx, tuple):
                 # Coalesced subline elements: one DataU covers a range.
-                for i in range(idx[0], idx[1]):
-                    self._parent_data(stream, i)
+                if not stream.waiters and not stream.served_by_cache:
+                    # Nothing is waiting on (or pre-served from) any
+                    # element: the per-index bookkeeping degenerates to
+                    # a bulk set update.
+                    stream.ready.update(range(idx[0], idx[1]))
+                else:
+                    for i in range(idx[0], idx[1]):
+                        self._parent_data(stream, i)
             else:
                 self._parent_data(stream, idx)
         else:
@@ -424,11 +441,10 @@ class SEL2:
         body = Credit(requester=self.tile, sid=stream.sid, count=grant,
                       epoch=stream.epoch)
         self.stats.add("se_l2.credits_sent")
-        self.net.send(Packet(
-            src=self.tile, dst=stream.last_bank,
-            kind=STREAM, payload_bits=body.bits(), dst_port="se_l3",
+        self.net.send_new(
+            self.tile, stream.last_bank, STREAM, body.bits(), "se_l3",
             body=body,
-        ))
+        )
 
     def on_cache_hit(self, sid: Optional[int], idx: Optional[int]) -> None:
         """The private caches served a floating element (SS IV-A):
@@ -471,10 +487,14 @@ class SEL2:
         element, mark the stream aliased and have the SE_core sink it."""
         base = line_addr(addr)
         for stream in list(self.streams.values()):
-            pat = stream.spec.pattern
-            window = list(stream.ready) + list(stream.waiters)
-            for idx in window:
-                if line_addr(pat.address(idx)) == base:
+            address = stream.spec.pattern.address
+            memo = stream.line_memo
+            for idx in list(stream.ready) + list(stream.waiters):
+                if idx in memo:
+                    line = memo[idx]
+                else:
+                    line = memo[idx] = address(idx) & _LINE_MASK
+                if line == base:
                     # Sink this stream, but keep scanning: several
                     # buffered streams can alias the same line.
                     self.stats.add("se_l2.alias_sinks")

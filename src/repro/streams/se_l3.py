@@ -27,8 +27,9 @@ forwarded along the recorded migration path.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.mem.addr import LINE_SIZE, NucaMap, line_addr, page_index
 from repro.mem.coherence import CohMsg
@@ -67,14 +68,27 @@ class L3Stream:
     # Incarnation counter from the SE_L2 (a sid can sink and re-float);
     # stale credits/ends from an earlier incarnation are dropped.
     epoch: int = 0
+    # Hot-path caches (DESIGN.md §12). ``length`` snapshots the
+    # immutable spec length; ``key`` the immutable routing key. The
+    # ``cached_*`` trio memoizes address/bank for ``next_idx`` so the
+    # issue unit computes each element's address once, not once per
+    # actionability probe. ``prev_page`` is the page of element
+    # ``next_idx - 1`` (-1: none / recompute), maintained so the TLB
+    # page-boundary test avoids a second address computation.
+    length: int = field(init=False, default=0)
+    key: StreamKey = field(init=False, default=(0, 0))
+    cached_idx: int = field(init=False, default=-1)
+    cached_addr: int = field(init=False, default=0)
+    cached_bank: int = field(init=False, default=-1)
+    prev_page: int = field(init=False, default=-1)
 
-    @property
-    def key(self) -> StreamKey:
-        return (self.requester, self.spec.sid)
+    def __post_init__(self) -> None:
+        self.length = self.spec.length
+        self.key = (self.requester, self.spec.sid)
 
     @property
     def done(self) -> bool:
-        return self.next_idx >= self.spec.length
+        return self.next_idx >= self.length
 
     @property
     def issuable(self) -> bool:
@@ -145,8 +159,11 @@ class SEL3:
         # Credits that raced ahead of their stream's migration here:
         # key -> (epoch, count).
         self.pending_credits: Dict[StreamKey, Tuple[int, int]] = {}
-        self._rr: List[StreamKey] = []  # round-robin order
+        self._rr: Deque[StreamKey] = deque()  # round-robin order
         self._pump_armed = False
+        # Interned counter cells for the per-element hot path.
+        self._c_tlb = stats.counter("se_l3.tlb_lookups")
+        self._c_elements = stats.counter("se_l3.elements_issued")
         bank.se_l3 = self
         net.register(tile, "se_l3", self.handle)
         san = getattr(sim, "sanitizer", None)
@@ -285,34 +302,48 @@ class SEL3:
         self._pump_armed = False
         issued = 0
         scanned = 0
-        while issued < self.PUMP_BATCH and scanned < len(self._rr):
-            if not self._rr:
+        rr = self._rr
+        streams = self.streams
+        while issued < self.PUMP_BATCH and scanned < len(rr):
+            if not rr:
                 break
-            key = self._rr.pop(0)
-            stream = self.streams.get(key)
-            if stream is None:
+            key = rr.popleft()
+            if key not in streams:
                 continue  # ended/migrated; drop from rotation
-            self._rr.append(key)
+            stream = streams[key]
+            rr.append(key)
             scanned += 1
             if self._issue_one(stream):
                 issued += 1
                 scanned = 0  # progress resets the idle scan
-        if any(
-            self.streams.get(k) is not None
-            and self._actionable(self.streams[k])
-            for k in self._rr
-        ):
-            self._pump_armed = True
-            self.sim.schedule(self.PUMP_INTERVAL, self._pump)
+        for k in rr:
+            if k in streams and self._actionable(streams[k]):
+                self._pump_armed = True
+                self.sim.schedule(self.PUMP_INTERVAL, self._pump)
+                break
+
+    def _stream_addr_bank(self, stream: L3Stream) -> Tuple[int, int]:
+        """(address, home bank) of ``stream.next_idx``, memoized on
+        the stream so repeated actionability probes at the same index
+        don't recompute the affine address (DESIGN.md §12)."""
+        idx = stream.next_idx
+        if stream.cached_idx == idx:
+            return stream.cached_addr, stream.cached_bank
+        addr = stream.spec.pattern.address(idx)
+        bank = self.nuca.bank_of(addr)
+        stream.cached_idx = idx
+        stream.cached_addr = addr
+        stream.cached_bank = bank
+        return addr, bank
 
     def _actionable(self, stream: L3Stream) -> bool:
         """Does the issue unit have anything to do for this stream?"""
-        if stream.done:
+        if stream.next_idx >= stream.length:
             return True  # silent completion cleanup
-        next_addr = stream.spec.pattern.address(stream.next_idx)
-        if self.nuca.bank_of(next_addr) != self.tile:
+        _addr, bank = self._stream_addr_bank(stream)
+        if bank != self.tile:
             return True  # must migrate (with or without credits)
-        return stream.issuable and self._group_ready(stream)
+        return stream.credits > 0 and self._group_ready(stream)
 
     def _group_ready(self, stream: L3Stream) -> bool:
         """Confluence delay: members ahead of the group's frontier
@@ -323,62 +354,86 @@ class SEL3:
         return frontier is not None and stream.next_idx == frontier
 
     def _issue_one(self, stream: L3Stream) -> bool:
-        if stream.done:
+        idx = stream.next_idx
+        if idx >= stream.length:
             # Known-length streams terminate silently (SS IV-A).
             self._drop(stream)
             self.stats.add("se_l3.completed")
             return False
-        idx = stream.next_idx
-        addr = stream.spec.pattern.address(idx)
-        if self.nuca.bank_of(addr) != self.tile:
+        addr, bank = self._stream_addr_bank(stream)
+        if bank != self.tile:
             # Migrate even when out of credits — the credits will be
             # routed to (or are already waiting at) the next bank.
             self._migrate(stream, addr)
             return False
-        if not stream.issuable or not self._group_ready(stream):
+        if stream.credits <= 0 or not self._group_ready(stream):
             return False
         # Translate unit: affine streams only touch the TLB at page
-        # boundaries (SS IV-E).
-        if idx == 0 or page_index(addr) != page_index(
-            stream.spec.pattern.address(idx - 1)
-        ):
+        # boundaries (SS IV-E). ``prev_page`` carries the page of
+        # element idx-1 between issues; a coalesced batch never leaves
+        # its cache line, so the batch's last element shares the first
+        # element's page.
+        page = page_index(addr)
+        if idx == 0:
             self.tlb.translate(addr)
-            self.stats.add("se_l3.tlb_lookups")
-        participants = [stream]
-        if stream.group is not None:
+            self._c_tlb[0] += 1
+        else:
+            prev_page = stream.prev_page
+            if prev_page < 0:
+                prev_page = page_index(stream.spec.pattern.address(idx - 1))
+            if page != prev_page:
+                self.tlb.translate(addr)
+                self._c_tlb[0] += 1
+        pattern = stream.spec.pattern
+        group = stream.group
+        if group is None:
+            participants = None
+            category = "float_affine"
+            max_batch = stream.credits
+        else:
             participants = [
-                m for m in stream.group.members
+                m for m in group.members
                 if m.issuable and m.next_idx == idx
             ]
             if stream not in participants:
                 participants.append(stream)
-        category = "float_conf" if len(participants) > 1 else "float_affine"
+            category = "float_conf" if len(participants) > 1 else "float_affine"
+            max_batch = min(m.credits for m in participants)
         # Coalesce consecutive same-line elements (subline affine
         # streams, e.g. a 4-byte index stream): one GetU and one DataU
         # serve the whole line's worth of elements.
-        line = line_addr(addr)
-        pattern = stream.spec.pattern
-        max_batch = min(m.credits for m in participants)
-        if max_batch > stream.spec.length - idx:
-            max_batch = stream.spec.length - idx
-        if isinstance(pattern, AffinePattern):
+        if max_batch > stream.length - idx:
+            max_batch = stream.length - idx
+        if type(pattern) is AffinePattern:
             count = pattern.line_run_length(idx, max_batch)
         else:
+            line = line_addr(addr)
             count = 1
             while (
                 count < max_batch
                 and line_addr(pattern.address(idx + count)) == line
             ):
                 count += 1
-        for member in participants:
-            member.next_idx += count
-            member.credits -= count
-        self.stats.add("se_l3.elements_issued", len(participants) * count)
+        if participants is None:
+            stream.next_idx = idx + count
+            stream.credits -= count
+            stream.prev_page = page
+            self._c_elements[0] += count
+        else:
+            for member in participants:
+                member.next_idx += count
+                member.credits -= count
+                # Members advance without computing their own addresses
+                # (their bases differ); recompute lazily when they lead.
+                member.prev_page = -1
+            stream.prev_page = page
+            self._c_elements[0] += len(participants) * count
         if self.stream_grain_coherence:
             span = pattern.elem_size * count
-            for member in participants:
+            for member in (participants if participants is not None else (stream,)):
                 self._track_range(member.key, addr, span)
         element = idx if count == 1 else (idx, idx + count)
+        p = participants if participants is not None else [stream]
         self.bank.stream_read(
             addr,
             requester=stream.requester,
@@ -386,7 +441,7 @@ class SEL3:
             stream_id=stream.spec.sid,
             element=element,
             category=category,
-            on_ready=lambda msg, p=participants, e=element: self._data_ready(p, e, msg),
+            on_ready=lambda msg, p=p, e=element: self._data_ready(p, e, msg),
         )
         return True
 
@@ -394,29 +449,39 @@ class SEL3:
         """GetU data is at the bank: respond (possibly multicast) and
         chain any indirect children. ``element`` is an index or a
         coalesced ``(start, end)`` range."""
+        if len(participants) == 1:
+            # Common case: no confluence — skip the members-list build.
+            sole = participants[0]
+            requester = sole.requester
+            self.bank.send_data_u(requester, CohMsg(
+                op="GetU", addr=msg.addr, requester=requester,
+                data_bytes=LINE_SIZE, stream_id=sole.spec.sid, element=element,
+            ))
+            if self.indirect_enabled and sole.children:
+                elems = (
+                    range(element[0], element[1])
+                    if isinstance(element, tuple) else (element,)
+                )
+                for child in sole.children:
+                    for idx in elems:
+                        self._chain_indirect(sole, child, idx)
+            return
         members = [(m.requester, m.spec.sid) for m in participants]
         if isinstance(element, tuple):
             elems = range(element[0], element[1])
         else:
             elems = (element,)
-        if len(members) > 1:
-            body = CohMsg(
-                op="DataU", addr=line_addr(msg.addr), requester=members[0][0],
-                data_bytes=LINE_SIZE, stream_id=members[0][1], element=element,
-                se_info=members,
-            )
-            self.net.multicast(
-                src=self.tile, dsts=[tile for tile, _ in members],
-                kind=DATA, payload_bits=data_payload_bits(LINE_SIZE),
-                dst_port="se_l2", body=body,
-            )
-            self.stats.add("se_l3.multicasts")
-        else:
-            requester, sid = members[0]
-            self.bank.send_data_u(requester, CohMsg(
-                op="GetU", addr=msg.addr, requester=requester,
-                data_bytes=LINE_SIZE, stream_id=sid, element=element,
-            ))
+        body = CohMsg(
+            op="DataU", addr=line_addr(msg.addr), requester=members[0][0],
+            data_bytes=LINE_SIZE, stream_id=members[0][1], element=element,
+            se_info=members,
+        )
+        self.net.multicast(
+            src=self.tile, dsts=[tile for tile, _ in members],
+            kind=DATA, payload_bits=data_payload_bits(LINE_SIZE),
+            dst_port="se_l2", body=body,
+        )
+        self.stats.add("se_l3.multicasts")
         if self.indirect_enabled:
             for member in participants:
                 for child in member.children:
@@ -443,10 +508,9 @@ class SEL3:
                 addr=addr, data_bytes=data_bytes,
             )
             self.stats.add("se_l3.indirect_forwards")
-            self.net.send(Packet(
-                src=self.tile, dst=target, kind=CTRL,
-                payload_bits=body.bits(), dst_port="se_l3", body=body,
-            ))
+            self.net.send_new(
+                self.tile, target, CTRL, body.bits(), "se_l3", body=body,
+            )
 
     def _local_indirect(
         self, requester: int, sid: int, idx: int, addr: int, data_bytes: int,
@@ -475,10 +539,9 @@ class SEL3:
             requester=stream.requester, epoch=stream.epoch,
         )
         self.stats.add("se_l3.migrations_out")
-        self.net.send(Packet(
-            src=self.tile, dst=target, kind=STREAM,
-            payload_bits=body.bits(), dst_port="se_l3", body=body,
-        ))
+        self.net.send_new(
+            self.tile, target, STREAM, body.bits(), "se_l3", body=body,
+        )
 
     def _drop(self, stream: L3Stream) -> None:
         self.streams.pop(stream.key, None)
@@ -509,10 +572,9 @@ class SEL3:
             return
         fwd = self.forwarding.get(key)
         if fwd is not None and fwd[1] == body.epoch:
-            self.net.send(Packet(
-                src=self.tile, dst=fwd[0], kind=STREAM,
-                payload_bits=body.bits(), dst_port="se_l3", body=body,
-            ))
+            self.net.send_new(
+                self.tile, fwd[0], STREAM, body.bits(), "se_l3", body=body,
+            )
         elif fwd is not None and fwd[1] > body.epoch:
             self.stats.add("se_l3.stale_credits")
         else:

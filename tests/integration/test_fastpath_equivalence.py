@@ -1,0 +1,66 @@
+"""Fast-path equivalence suite: fused handlers vs the plain kernel.
+
+The handler fast paths (DESIGN.md §12) fuse uncontended event chains
+into synchronous calls, intern hot counters, and recycle messages —
+all on the promise that *only* the Python-call count changes, never
+the model. This suite holds them to it: for every tier-1 workload
+point, a run with ``REPRO_FASTPATH=0`` (every callback through the
+event queue, no pooling) and a default run (fusion + pooling on) must
+produce the same cycle count, the same logical-event count, and the
+same full architectural stats dict, key for key.
+
+The suite runs without the sanitizer (``no_sanitize``): fusion changes
+the *kernel event stream* (fused callbacks never enter the queue), so
+the S5 trace hash legitimately differs between the modes — the hash is
+re-pinned deliberately in BENCH_kernel.json, while this suite proves
+the architectural results did not move. Running sanitizer-free also
+lets the default run exercise message pooling, which observers veto.
+"""
+
+import pytest
+
+from repro.sim.fastpath import ENV_FASTPATH
+from repro.system import Chip, make_config
+from repro.workloads.base import build_programs
+
+# Every tier-1 workload, at the kernel-equivalence suite's geometry.
+POINTS = [
+    ("mv", "sf"),          # affine streams, floating on
+    ("mv", "base"),        # no stream engine at all
+    ("conv3d", "sf"),      # multi-level affine patterns
+    ("bfs", "sf"),         # indirect streams + confluence traffic
+    ("pathfinder", "sf"),  # migrating affine streams
+    ("hotspot", "sf"),     # multi-array stencil streams
+]
+GEOMETRY = dict(core="ooo8", cols=4, rows=4, scale=8)
+
+
+def _run(monkeypatch, workload, config, fastpath):
+    monkeypatch.setenv(ENV_FASTPATH, fastpath)
+    chip = Chip(make_config(config, **GEOMETRY))
+    programs = build_programs(
+        workload, chip.num_cores, scale=GEOMETRY["scale"], seed=0,
+    )
+    result = chip.run(programs)
+    return {
+        "cycles": result.cycles,
+        "events": chip.sim.events_executed,
+        "inlined": chip.sim.events_inlined,
+        "stats": chip.stats.as_dict(),
+    }
+
+
+@pytest.mark.no_sanitize
+@pytest.mark.parametrize("workload,config", POINTS)
+def test_fastpath_equivalent(monkeypatch, workload, config):
+    off = _run(monkeypatch, workload, config, "0")
+    on = _run(monkeypatch, workload, config, "1")
+    assert on["cycles"] == off["cycles"]
+    # count_inlined_events() credit: fused callbacks must keep
+    # events_executed counting logical events, not kernel dispatches.
+    assert on["events"] == off["events"]
+    # Fusion actually engaged (beyond the always-on NoC drain batching
+    # both modes share).
+    assert on["inlined"] > off["inlined"]
+    # Architectural results are byte-identical, key for key.
+    assert on["stats"] == off["stats"]
