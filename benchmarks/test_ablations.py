@@ -8,9 +8,15 @@ measures what it costs, on the workloads that exercise it:
 - **indirect floating off** (``sf_aff``): bfs / cfd fall back to
   core-chained gathers (SS IV-B);
 - **coarse NUCA interleave** (the paper's 1 kB SF default vs 64 B):
-  constant migration vs hotspot avoidance (SS VII-E).
+  constant migration vs hotspot avoidance (SS VII-E);
+- **float policy** (static Table II vs the adaptive policy vs
+  adaptive + per-range plans): the adaptive policy must revoke the
+  tiled stencil's bad float and stay within noise of static on the
+  Table IV set (DESIGN.md SS13).
 """
 
+from repro.harness.experiments import fig_policy_ablation, geomean
+from repro.harness.report import render_policy_ablation
 from repro.harness.runner import run_once
 
 from conftest import PROFILE, emit, run_figure
@@ -92,3 +98,29 @@ def test_ablation_interleave_migrations(benchmark):
         4 * coarse.stats["se_l3.migrations_out"]
     assert fine.stats["noc.flit_hops.stream"] > \
         coarse.stats["noc.flit_hops.stream"]
+
+
+def test_ablation_float_policy(benchmark):
+    def experiment():
+        return fig_policy_ablation(**PROFILE)
+
+    rows = run_figure(benchmark, experiment)
+    emit("ablation_policy", render_policy_ablation(rows))
+
+    by = {(r.workload, r.config): r for r in rows}
+    # Static Table II has no revocation machinery; the adaptive policy
+    # revokes the tiled stencil's float once its re-sweeps start
+    # hitting the private caches.
+    assert by[("stencil_tiled", "sf")].revokes == 0
+    assert by[("stencil_tiled", "sf_smart")].revokes >= 1
+    assert by[("stencil_tiled", "sf_plan")].revokes >= 1
+    # The streaming Table IV set keeps floating under the adaptive
+    # policy (no wholesale disqualification)...
+    table_iv = sorted({r.workload for r in rows} - {"stencil_tiled"})
+    floats_smart = sum(by[(wl, "sf_smart")].floats for wl in table_iv)
+    assert floats_smart > 0
+    # ...and stays within noise of the static policy's speedups.
+    for cfg in ("sf_smart", "sf_plan"):
+        gm_static = geomean([by[(wl, "sf")].speedup for wl in table_iv])
+        gm_cfg = geomean([by[(wl, cfg)].speedup for wl in table_iv])
+        assert gm_cfg >= gm_static * 0.9, (cfg, gm_cfg, gm_static)

@@ -356,6 +356,63 @@ def fig18_scaling(
 
 
 # ---------------------------------------------------------------------------
+# Policy ablation: static Table II vs smart vs smart+plan (new figure)
+# ---------------------------------------------------------------------------
+
+ABLATION_CONFIGS = ("sf", "sf_smart", "sf_plan")
+# The 12 Table IV benchmarks plus the tiled stencil, whose cache-
+# resident re-sweeps are the revocation case the static policy only
+# handles through the coarse consecutive-hit sink.
+ABLATION_WORKLOADS = ALL_WORKLOADS + ("stencil_tiled",)
+
+
+@dataclass
+class PolicyRow:
+    workload: str
+    config: str
+    speedup: float  # vs the same-core SS (no floating)
+    floats: int
+    sinks: int
+    revokes: int
+    deferred_configs: int  # plan configs held back past l3_start
+    plan_l2_ranges: int  # pure-L2 / probation prefix ranges pumped
+
+
+def fig_policy_ablation(
+    workloads: Sequence[str] = ABLATION_WORKLOADS,
+    configs: Sequence[str] = ABLATION_CONFIGS,
+    core: str = "ooo8",
+    jobs: Optional[int] = None,
+    **kw,
+) -> List[PolicyRow]:
+    """Float-policy ablation: each config's speedup over SS plus the
+    policy activity counters (floats / sinks / revocations / plan
+    machinery) that explain it."""
+    run_points(
+        [dict(workload=wl, config=cfg, core=core, **kw)
+         for wl in workloads
+         for cfg in ("ss",) + tuple(configs)],
+        jobs=jobs,
+    )
+    rows = []
+    for wl in workloads:
+        base = run_once(wl, "ss", core=core, **kw)
+        for cfg in configs:
+            rec = run_once(wl, cfg, core=core, **kw)
+            s = rec.stats
+            rows.append(PolicyRow(
+                workload=wl, config=cfg,
+                speedup=base.cycles / rec.cycles if rec.cycles else 0.0,
+                floats=int(s.get("se_core.floats")),
+                sinks=int(s.get("se_core.sinks")),
+                revokes=int(s.get("se_core.revokes")),
+                deferred_configs=int(s.get("se_l2.deferred_configs")),
+                plan_l2_ranges=int(s.get("se_l2.plan_l2_ranges")),
+            ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 19: energy vs speedup scatter
 # ---------------------------------------------------------------------------
 

@@ -1,5 +1,5 @@
-"""Decision provenance ledger: every float/no-float/sink/migrate/
-confluence/config verdict with its complete input snapshot.
+"""Decision provenance ledger: every float/no-float/sink/revoke/
+migrate/confluence/config verdict with its complete input snapshot.
 
 The telemetry layer (PR 5) records *what* happened; this pillar
 records *why* (DESIGN.md §11). Each policy decision made anywhere in
@@ -34,9 +34,11 @@ class ProvenanceRecord:
 
     cycle: int
     tile: int
-    verdict: str  # float | no_float | sink | follow | migrate |
-    #               confluence | config_installed | config_stale |
-    #               config_rejected | config_replaced
+    verdict: str  # float | no_float | sink | revoke | follow |
+    #               migrate | confluence | config_installed |
+    #               config_stale | config_rejected | config_replaced
+    # ("revoke": the smart policy undid a float it judged bad mid-run;
+    #  the reason names the trigger, e.g. revoke_reuse_burst.)
     sid: Optional[int] = None
     requester: Optional[int] = None
     reason: str = ""

@@ -451,7 +451,15 @@ class Telemetry:
             "length": stream.spec.length,
             "next_issue": stream.next_issue,
             "consecutive_hits": stream.consecutive_hits,
+            # Windowed shadow counters + revocation state (the smart
+            # policy's extra decision inputs; zero under static).
+            "w_requests": ent.w_requests, "w_reuses": ent.w_reuses,
+            "w_misses": ent.w_misses, "w_stores": ent.w_stores,
+            "cooldown": ent.cooldown, "revokes": ent.revokes,
+            "policy": getattr(se, "float_policy", "static"),
         }
+        if stream.plan is not None:
+            snap["plan"] = stream.plan.describe()
         footprint = getattr(pattern, "footprint_bytes", None)
         if footprint is not None:
             snap["footprint"] = footprint()
@@ -467,16 +475,19 @@ class Telemetry:
         ledger = self.provenance is not None
         inner_float = se._float
 
-        def float_(stream, reason="history") -> None:
+        def float_(stream, reason="history", plan=None) -> None:
             was = stream.floating
             if ledger and not was:
+                inputs = tel._policy_snapshot(se, stream)
+                if plan is not None:
+                    inputs["plan"] = plan.describe()
                 tel.publish(
                     "decision", tile=se.tile,
                     detail=f"float sid {stream.sid} ({reason})",
                     verdict="float", sid=stream.sid, reason=reason,
-                    inputs=tel._policy_snapshot(se, stream),
+                    inputs=inputs,
                 )
-            inner_float(stream, reason)
+            inner_float(stream, reason, plan)
             if not was and stream.floating:
                 tel.publish(
                     "float", tile=se.tile,
@@ -491,10 +502,14 @@ class Telemetry:
         def sink(stream, reason="policy") -> None:
             was = stream.floating
             if ledger and was and stream.parent is None:
+                # A smart-policy revocation is its own verdict: the
+                # policy actively undid a float it now judges bad
+                # (the reason names the trigger).
+                verdict = "revoke" if reason.startswith("revoke") else "sink"
                 tel.publish(
                     "decision", tile=se.tile,
-                    detail=f"sink sid {stream.sid} ({reason})",
-                    verdict="sink", sid=stream.sid, reason=reason,
+                    detail=f"{verdict} sid {stream.sid} ({reason})",
+                    verdict=verdict, sid=stream.sid, reason=reason,
                     inputs=tel._policy_snapshot(se, stream),
                 )
             inner_sink(stream, reason)
@@ -649,22 +664,25 @@ class Telemetry:
         inner_configure = se3._configure
 
         def configure(spec, children, requester, start_idx, credits,
-                      epoch=0, migrated=False):
+                      epoch=0, migrated=False, plan=None):
             verdict = inner_configure(spec, children, requester, start_idx,
-                                      credits, epoch, migrated)
+                                      credits, epoch, migrated, plan)
+            inputs = {
+                "start_idx": start_idx, "credits": credits,
+                "epoch": epoch, "migrated": migrated,
+                "pattern": type(spec.pattern).__name__,
+                "length": spec.length,
+                "resident_streams": len(se3.streams),
+            }
+            if plan is not None:
+                inputs["plan"] = plan.describe()
             tel.publish(
                 "decision", tile=se3.tile,
                 detail=f"config_{verdict} ({requester},{spec.sid})",
                 verdict=f"config_{verdict}", sid=spec.sid,
                 requester=requester,
                 reason="migrate" if migrated else "float_config",
-                inputs={
-                    "start_idx": start_idx, "credits": credits,
-                    "epoch": epoch, "migrated": migrated,
-                    "pattern": type(spec.pattern).__name__,
-                    "length": spec.length,
-                    "resident_streams": len(se3.streams),
-                },
+                inputs=inputs,
             )
             return verdict
 

@@ -369,33 +369,38 @@ class Sanitizer:
     def watch_se_l2(self, se) -> None:
         self._se_l2s[se.tile] = se
         san = self
-        inner_float = se.float_stream
+        inner_send = se._send_config
 
-        def float_stream(spec, start_idx, children) -> None:
-            before = se.streams.get(spec.sid)
-            inner_float(spec, start_idx, children)
-            stream = se.streams.get(spec.sid)
-            if stream is not None and stream is not before:
-                # One ledger entry per incarnation (tile, sid, epoch):
-                # each must be ended or dropped exactly once.
-                ikey = (se.tile, spec.sid, stream.epoch)
-                if ikey in san._floats:
-                    san._fail(
-                        "S4", f"stream incarnation {ikey} floated twice",
-                        tile=se.tile, obj=ikey,
-                    )
-                san._floats[ikey] = 1
-                key = (se.tile, spec.sid)
-                san._granted[key] = san._granted.get(key, 0) + stream.capacity
+        def send_config(stream) -> None:
+            # One ledger entry per incarnation (tile, sid, epoch) that
+            # reaches an SE_L3: each must be ended or dropped exactly
+            # once there. Pure-L2 plan floats never configure an SE_L3
+            # and stay out of the ledger; a deferred config enters it
+            # at send time with every credit granted so far.
+            inner_send(stream)
+            ikey = (se.tile, stream.sid, stream.epoch)
+            if ikey in san._floats:
+                san._fail(
+                    "S4", f"stream incarnation {ikey} configured twice",
+                    tile=se.tile, obj=ikey,
+                )
+            san._floats[ikey] = 1
+            key = (se.tile, stream.sid)
+            san._granted[key] = (
+                san._granted.get(key, 0) + stream.granted - stream.l3_start
+            )
 
-        se.float_stream = float_stream
+        se._send_config = send_config
         inner_free = se._free
 
         def free(stream, count: int) -> None:
             before_granted = stream.granted
+            sent_before = stream.config_sent
             inner_free(stream, count)
             delta = stream.granted - before_granted
-            if delta > 0:
+            if delta > 0 and sent_before:
+                # Grants before the config is sent ride the config
+                # itself (counted by the send wrapper above).
                 key = (se.tile, stream.sid)
                 san._granted[key] = san._granted.get(key, 0) + delta
 
@@ -436,11 +441,11 @@ class Sanitizer:
         inner_configure = se._configure
 
         def configure(spec, children, requester, start_idx, credits,
-                      epoch=0, migrated=False):
+                      epoch=0, migrated=False, plan=None):
             key = (requester, spec.sid)
             prev = se.streams.get(key)
             out = inner_configure(spec, children, requester, start_idx,
-                                  credits, epoch, migrated)
+                                  credits, epoch, migrated, plan)
             cur = se.streams.get(key)
             if cur is prev:
                 # The incoming incarnation was not installed (admission

@@ -1,31 +1,78 @@
-"""Stream history table (Table II) and the float/sink policy inputs.
+"""Stream history table (Table II) and the float/sink policies.
 
 The SE_core records each stream's runtime behaviour: requests sent,
 private-cache reuses (reported by the L2 when a stream-tagged line is
 hit again), private-cache misses, and whether an aliasing store was
 observed. After enough requests accumulate, a stream floats if it
 shows no reuse, a high miss ratio and no aliasing (SS IV-D).
+
+Two refinements over the paper's static Table II live here:
+
+- **Windowed counters.** The original ``reuses == 0`` test was
+  evaluated over the stream's whole life, so a single early reuse
+  permanently disqualified a stream even after thousands of
+  reuse-free requests. Counters now also accumulate per *window*
+  (reset every :attr:`~StreamHistoryTable.window` line requests): a
+  stream (re-)qualifies when either its lifetime or its current
+  window shows the float signature.
+
+- **Sink backoff.** A sunk stream's history restarts, so a stream
+  whose disqualifying behaviour is only visible part of the time
+  used to re-qualify and thrash float/sink for its whole life. The
+  first sink is free (a quick re-float is often right when the sink
+  caught a transient hit burst), but every repeat sink starts a
+  cooldown that quadruples each time (four windows, capped at 32).
+
+- **The smart policy** (:class:`SmartFloatPolicy`, config
+  ``float_policy="smart"``) extends the decision inputs with the
+  observed stream length, bank locality and the windowed counters,
+  decides a float *level per element range* (a
+  :class:`~repro.streams.plan.FloatPlan`), and revokes a
+  demonstrably bad float mid-run — on an L2 reuse burst or alias
+  density — instead of waiting for the coarse sink triggers. A
+  revocation starts a cooldown so the same stream does not thrash.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.streams.plan import CORE, L2, L3, FloatPlan  # noqa: F401
 
 
 @dataclass
 class HistoryEntry:
-    """Table II: sid, #requests, #reuses, #misses, aliased."""
+    """Table II: sid, #requests, #reuses, #misses, aliased — plus the
+    windowed shadow counters (``w_*``) and revocation bookkeeping."""
 
     sid: int
     requests: int = 0
     reuses: int = 0
     misses: int = 0
     aliased: bool = False
+    # Current-window shadow counters (reset every `window` requests).
+    w_requests: int = 0
+    w_reuses: int = 0
+    w_misses: int = 0
+    w_stores: int = 0  # in-range (non-aliasing) stores this window
+    # Revocation state: a revoked stream may not re-float until
+    # `cooldown` further line requests have passed.
+    cooldown: int = 0
+    revokes: int = 0
+    # Times this stream has been sunk after floating. Each sink starts
+    # an exponentially growing cooldown (see `carryover_reset`) so a
+    # stream whose behaviour keeps re-qualifying between sinks cannot
+    # thrash float/sink indefinitely.
+    sinks: int = 0
 
     @property
     def miss_ratio(self) -> float:
         return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def w_miss_ratio(self) -> float:
+        return self.w_misses / self.w_requests if self.w_requests else 0.0
 
 
 class StreamHistoryTable:
@@ -35,9 +82,11 @@ class StreamHistoryTable:
         self,
         min_requests: int = 32,
         miss_ratio_threshold: float = 0.7,
+        window: int = 128,
     ) -> None:
         self.min_requests = min_requests
         self.miss_ratio_threshold = miss_ratio_threshold
+        self.window = window
         self._entries: Dict[int, HistoryEntry] = {}
 
     def entry(self, sid: int) -> HistoryEntry:
@@ -48,31 +97,247 @@ class StreamHistoryTable:
         return ent
 
     def record_request(self, sid: int) -> None:
-        self.entry(sid).requests += 1
+        ent = self.entry(sid)
+        ent.requests += 1
+        if ent.cooldown > 0:
+            ent.cooldown -= 1
+        if ent.w_requests >= self.window:
+            ent.w_requests = ent.w_reuses = ent.w_misses = 0
+            ent.w_stores = 0
+        ent.w_requests += 1
 
     def record_miss(self, sid: int) -> None:
-        self.entry(sid).misses += 1
+        ent = self.entry(sid)
+        ent.misses += 1
+        ent.w_misses += 1
 
     def record_reuse(self, sid: int) -> None:
-        self.entry(sid).reuses += 1
+        ent = self.entry(sid)
+        ent.reuses += 1
+        ent.w_reuses += 1
 
     def record_alias(self, sid: int) -> None:
         self.entry(sid).aliased = True
 
+    def record_range_store(self, sid: int) -> None:
+        """A store landed inside the stream's address range without
+        hitting the in-flight window (near-alias). Dense bursts are
+        the smart policy's alias-density revocation trigger."""
+        self.entry(sid).w_stores += 1
+
+    def _window_qualifies(self, ent: HistoryEntry) -> bool:
+        return (
+            ent.w_requests >= self.min_requests
+            and ent.w_reuses == 0
+            and ent.w_miss_ratio >= self.miss_ratio_threshold
+        )
+
     def should_float(self, sid: int) -> bool:
         """SS IV-D: float once enough requests accumulate with no
-        reuse, a high miss ratio, and no aliasing stores."""
+        reuse, a high miss ratio, and no aliasing stores — over the
+        stream's lifetime *or* its current window (so one early reuse
+        does not disqualify the stream forever)."""
         ent = self._entries.get(sid)
-        if ent is None or ent.requests < self.min_requests:
+        if ent is None or ent.aliased or ent.cooldown > 0:
             return False
-        return (
-            not ent.aliased
+        lifetime = (
+            ent.requests >= self.min_requests
             and ent.reuses == 0
             and ent.miss_ratio >= self.miss_ratio_threshold
         )
+        return lifetime or self._window_qualifies(ent)
+
+    def should_float_windowed(self, sid: int) -> bool:
+        """The smart policy's purely windowed variant: only the
+        current window's behaviour counts (faster requalification,
+        no stale lifetime bias)."""
+        ent = self._entries.get(sid)
+        if ent is None or ent.aliased or ent.cooldown > 0:
+            return False
+        return self._window_qualifies(ent)
 
     def reset(self, sid: int) -> None:
         self._entries.pop(sid, None)
 
+    def carryover_reset(self, sid: int) -> None:
+        """Sink-time reset: start the counters over so a
+        still-qualifying entry does not re-float next cycle, but keep
+        the sticky bits — ``aliased`` (an aliased stream must never
+        re-float, Table II), the revocation cooldown, and the sink
+        count. The first sink is free — a quick re-float is often the
+        right call when the sink trigger caught a transient hit burst
+        — but from the second sink on, each starts a cooldown that
+        quadruples with every repeat (four windows, capped at 32): a
+        stream that keeps re-qualifying between sinks would otherwise
+        thrash float/sink for its whole life."""
+        ent = self._entries.pop(sid, None)
+        if ent is None:
+            return
+        fresh = self.entry(sid)
+        fresh.aliased = ent.aliased
+        fresh.revokes = ent.revokes
+        fresh.sinks = ent.sinks + 1
+        backoff = self.window << min(2 * ent.sinks, 5) if ent.sinks else 0
+        fresh.cooldown = max(ent.cooldown, backoff)
+
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class SmartFloatPolicy:
+    """Adaptive float policy (config ``float_policy="smart"``).
+
+    Decision inputs beyond Table II: observed stream length (too-short
+    streams never amortize a config round-trip), bank locality (a
+    stream resident on the local bank gains nothing from floating),
+    the L2 footprint (streams that fit comfortably keep their cache),
+    and the windowed history counters. With ``plan_enabled`` the
+    policy emits per-range :class:`~repro.streams.plan.FloatPlan`\\ s:
+    an L2-prefetch probation prefix before committing the tail to a
+    remote SE_L3, or a pure-L2 plan for mid-size footprints.
+
+    Revocation: a float is undone mid-run on a reuse burst at the L2
+    (:attr:`REVOKE_REUSE_BURST` window reuses), a private-cache hit
+    burst (:attr:`REVOKE_HIT_BURST` consecutive hits — tighter than
+    the static sink trigger), or alias density
+    (:attr:`REVOKE_ALIAS_DENSITY` in-range stores in one window).
+    Each revocation starts a :attr:`COOLDOWN`-request cooldown.
+    """
+
+    MIN_LENGTH = 64  # elements: shorter streams never float
+    MIN_TAIL = 32  # remaining elements needed to amortize a config
+    PROBATION = 32  # L2-prefetch prefix length before the L3 range
+    REVOKE_REUSE_BURST = 4  # window reuses that revoke a float
+    REVOKE_HIT_BURST = 4  # consecutive private hits that revoke
+    REVOKE_ALIAS_DENSITY = 4  # window in-range stores that revoke
+    COOLDOWN = 256  # line requests before a revoked stream re-floats
+    LOCALITY_SAMPLES = 8  # addresses probed for the bank-locality test
+
+    def __init__(
+        self,
+        history: StreamHistoryTable,
+        l2_capacity: int,
+        plan_enabled: bool = False,
+    ) -> None:
+        self.history = history
+        self.l2_capacity = l2_capacity
+        self.plan_enabled = plan_enabled
+        self.bank_of = None  # wired via bind() once the NUCA map exists
+        self.tile = -1
+        self.last_reject: Dict[int, str] = {}  # sid -> last gate reason
+
+    def bind(self, bank_of, tile: int) -> None:
+        self.bank_of = bank_of
+        self.tile = tile
+
+    # ------------------------------------------------------------------
+    # decision inputs
+    # ------------------------------------------------------------------
+    def _local(self, stream) -> bool:
+        """Does the stream's data live (almost) entirely on the local
+        bank? Sampled, not exact: hardware would use the page table."""
+        if self.bank_of is None or self.tile < 0:
+            return False
+        pattern = stream.spec.pattern
+        length = stream.length
+        if length <= 0:
+            return False
+        samples = min(self.LOCALITY_SAMPLES, length)
+        step = max(1, length // samples)
+        if step % 2 == 0:
+            # An even element step over power-of-two strides can alias
+            # with the power-of-two bank interleave and sample one
+            # bank forever; an odd step walks all residues.
+            step += 1
+        for idx in range(0, length, step):
+            if self.bank_of(pattern.address(idx)) != self.tile:
+                return False
+        return True
+
+    def _plan_for(
+        self, stream, start_idx: int, footprint: Optional[int],
+    ) -> Optional[FloatPlan]:
+        """Pick a per-range plan for a float starting at ``start_idx``
+        (None: the classic all-L3 float)."""
+        if not self.plan_enabled or stream.children:
+            # Indirect children chained at an SE_L3 have no data
+            # source in an L2-level range: plans are affine-only.
+            return None
+        tail = stream.length - start_idx
+        if footprint is not None and footprint <= self.l2_capacity:
+            if footprint > self.l2_capacity // 2:
+                # Mid-size footprint: keep the data's home-bank traffic
+                # but spare the remote config — serve it from the L2.
+                return FloatPlan([(start_idx, L2)])
+            return None  # genuinely small: no float of any kind
+        if tail >= 4 * self.PROBATION:
+            # Probation prefix: stream the first elements through the
+            # local L2 (cacheable, cheap to revoke) before committing
+            # the tail to a remote SE_L3.
+            return FloatPlan([
+                (start_idx, L2),
+                (start_idx + self.PROBATION, L3),
+            ])
+        return None
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def config_decision(
+        self, stream, footprint: int,
+    ) -> Tuple[bool, Optional[FloatPlan], str]:
+        """Configure-time decision (the static policy's footprint
+        test, plus the smart gates). Returns (float?, plan, reason)."""
+        sid = stream.sid
+        if stream.length < self.MIN_LENGTH:
+            self.last_reject[sid] = "short_stream"
+            return False, None, "short_stream"
+        if self.history.entry(sid).aliased:
+            self.last_reject[sid] = "aliased"
+            return False, None, "aliased"
+        if footprint <= self.l2_capacity:
+            # Mid-size footprints (half..full L2) still benefit from a
+            # pure-L2 plan — stream-buffer prefetching without evicting
+            # the rest of the cache; smaller ones stay put.
+            plan = self._plan_for(stream, 0, footprint)
+            if plan is not None:
+                return True, plan, "footprint_l2"
+            self.last_reject[sid] = "fits_l2"
+            return False, None, "fits_l2"
+        if self._local(stream):
+            self.last_reject[sid] = "local_bank"
+            return False, None, "local_bank"
+        return True, self._plan_for(stream, 0, footprint), "footprint"
+
+    def history_decision(
+        self, stream,
+    ) -> Tuple[bool, Optional[FloatPlan], str]:
+        """Mid-run decision from the windowed history counters."""
+        sid = stream.sid
+        qualifies = self.history.should_float_windowed(sid) or any(
+            self.history.should_float_windowed(c.sid)
+            for c in stream.children
+        )
+        if not qualifies:
+            return False, None, "never_qualified"
+        if stream.length < self.MIN_LENGTH:
+            self.last_reject[sid] = "short_stream"
+            return False, None, "short_stream"
+        if stream.length - stream.next_issue < self.MIN_TAIL:
+            self.last_reject[sid] = "short_tail"
+            return False, None, "short_tail"
+        if self._local(stream):
+            self.last_reject[sid] = "local_bank"
+            return False, None, "local_bank"
+        return True, self._plan_for(stream, stream.next_issue, None), "history"
+
+    def should_revoke(self, stream) -> Optional[str]:
+        """Is a live float demonstrably bad? Returns the trigger."""
+        ent = self.history.entry(stream.sid)
+        if ent.w_reuses >= self.REVOKE_REUSE_BURST:
+            return "revoke_reuse_burst"
+        if stream.consecutive_hits >= self.REVOKE_HIT_BURST:
+            return "revoke_cache_hits"
+        if ent.w_stores >= self.REVOKE_ALIAS_DENSITY:
+            return "revoke_alias_density"
+        return None

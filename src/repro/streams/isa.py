@@ -40,6 +40,15 @@ INDIRECT_FIELDS = {
 }
 INDIRECT_CONFIG_BITS = sum(INDIRECT_FIELDS.values())  # 60 (Table I)
 
+# Float-plan change point (streams/plan.py): an element index plus a
+# 2-bit serving-level selector. A classic config's single change point
+# rides the existing start_idx field; each further point costs this.
+PLAN_FIELDS = {
+    "elem": 48,  # change-point element index (iter width)
+    "level": 2,  # core / l2 / l3 selector
+}
+PLAN_POINT_BITS = sum(PLAN_FIELDS.values())  # 50
+
 
 @dataclass
 class StreamSpec:

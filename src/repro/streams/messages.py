@@ -8,13 +8,14 @@ follow Table I (450-bit affine config, +60 bits per indirect stream).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.streams.isa import (
     AFFINE_FIELDS,
     StreamSpec,
     config_packet_bits,
 )
+from repro.streams.plan import FloatPlan
 
 
 @dataclass
@@ -29,9 +30,13 @@ class FloatConfig:
     # Incarnation counter: a stream sid may float, end, and float again;
     # the epoch lets SE_L3s drop stale credits/ends from an earlier life.
     epoch: int = 0
+    # Per-range float plan (None: classic all-L3 float). Extra change
+    # points cost PLAN_POINT_BITS each on the wire.
+    plan: Optional[FloatPlan] = None
 
     def bits(self) -> int:
-        return config_packet_bits([self.spec] + list(self.children))
+        return config_packet_bits([self.spec] + list(self.children)) + \
+            (self.plan.extra_bits() if self.plan is not None else 0)
 
 
 @dataclass
@@ -44,11 +49,13 @@ class Migrate:
     credits: int
     requester: int
     epoch: int = 0
+    plan: Optional[FloatPlan] = None
 
     def bits(self) -> int:
         # Config fields plus the current iteration and credit count.
         return config_packet_bits([self.spec] + list(self.children)) + \
-            AFFINE_FIELDS["iter"] + 16
+            AFFINE_FIELDS["iter"] + 16 + \
+            (self.plan.extra_bits() if self.plan is not None else 0)
 
 
 @dataclass

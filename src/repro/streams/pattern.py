@@ -186,8 +186,10 @@ class IndirectPattern:
     elem_size: int = 8  # bytes actually consumed per element
 
     def __post_init__(self) -> None:
-        if self.scale <= 0 or self.elem_size <= 0:
-            raise ValueError("scale and elem_size must be positive")
+        # Negative scales are legal (descending gather targets); only
+        # a zero scale (every element at base) is degenerate.
+        if self.scale == 0 or self.elem_size <= 0:
+            raise ValueError("scale must be nonzero and elem_size positive")
 
     def __len__(self) -> int:
         return len(self.index_pattern)

@@ -32,9 +32,10 @@ from typing import Callable, Dict, List, Optional
 from repro.mem.l1 import L1Cache, L1Request
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
-from repro.streams.history import StreamHistoryTable
+from repro.streams.history import SmartFloatPolicy, StreamHistoryTable
 from repro.streams.isa import StreamSpec
 from repro.streams.pattern import AffinePattern, IndirectPattern
+from repro.streams.plan import CORE, FloatPlan
 
 
 @dataclass
@@ -55,6 +56,10 @@ class CoreStream:
     children: List["CoreStream"] = field(default_factory=list)
     parent: Optional["CoreStream"] = None
     addr_range: tuple = (0, 0)
+    # Per-range float plan (None: classic all-L3 float from
+    # float_start). Elements in the plan's CORE ranges issue through
+    # the normal private-cache path even while the stream floats.
+    plan: Optional[FloatPlan] = None
     # Snapshots of immutable spec properties (the ``length`` property
     # walks into ``len(pattern)`` on every access — hot in _pump).
     sid: int = field(init=False, default=0)
@@ -94,6 +99,8 @@ class SECore:
         float_enabled: bool = False,
         indirect_float_enabled: bool = True,
         history: Optional[StreamHistoryTable] = None,
+        float_policy: str = "static",
+        plan_enabled: bool = False,
     ) -> None:
         self.sim = sim
         self.stats = stats
@@ -106,6 +113,14 @@ class SECore:
         self.float_enabled = float_enabled
         self.indirect_float_enabled = indirect_float_enabled
         self.history = history or StreamHistoryTable()
+        if float_policy not in ("static", "smart"):
+            raise ValueError(f"unknown float policy {float_policy!r}")
+        self.float_policy = float_policy
+        self.policy: Optional[SmartFloatPolicy] = (
+            SmartFloatPolicy(self.history, l2_capacity,
+                             plan_enabled=plan_enabled)
+            if float_policy == "smart" else None
+        )
         self.streams: Dict[int, CoreStream] = {}
         self._c_requests = stats.counter("se_core.requests")
         if se_l2 is not None:
@@ -141,9 +156,23 @@ class SECore:
                 parent.children.append(child)
         # Float-at-configure: known-length footprint beyond the L2.
         if self.float_enabled:
+            policy = self.policy
+            if (
+                policy is not None and policy.bank_of is None
+                and self.se_l2 is not None
+            ):
+                policy.bind(self.se_l2.nuca.bank_of, self.tile)
             for spec in specs:
                 stream = self.streams[spec.sid]
-                if self._floats_at_config(stream):
+                if stream.spec.kind != "load" or stream.spec.is_indirect:
+                    continue  # indirect streams float with their parent
+                if policy is not None:
+                    ok, plan, reason = policy.config_decision(
+                        stream, self._config_footprint(stream)
+                    )
+                    if ok:
+                        self._float(stream, reason=reason, plan=plan)
+                elif self._floats_at_config(stream):
                     self._float(stream, reason="footprint")
         for spec in specs:
             self._pump(self.streams[spec.sid])
@@ -152,7 +181,11 @@ class SECore:
         pat = spec.pattern
         if isinstance(pat, IndirectPattern):
             # Conservative: the whole target array could be touched.
-            return (pat.base, pat.base + pat.scale * (max_or(pat.index_array, 0) + 1))
+            # A negative scale walks the target downward from base, so
+            # normalize — an inverted (lo, hi) here used to poison the
+            # footprint sum below and the notify_store range gate.
+            end = pat.base + pat.scale * (max_or(pat.index_array, 0) + 1)
+            return (min(pat.base, end), max(pat.base, end))
         lo = hi = pat.base
         for stride, length in zip(pat.strides, pat.lengths):
             span = stride * (length - 1)
@@ -162,22 +195,30 @@ class SECore:
                 lo += span
         return (lo, hi + pat.elem_size)
 
-    def _floats_at_config(self, stream: CoreStream) -> bool:
-        if stream.spec.kind != "load" or stream.spec.is_indirect:
-            # Indirect streams float with their parent.
-            return False
+    def _config_footprint(self, stream: CoreStream) -> int:
         footprint = stream.spec.pattern.footprint_bytes()
         for child in stream.children:
             # The gather target range counts toward the footprint.
             lo, hi = self._range_of(child.spec)
             footprint += hi - lo
-        return footprint > self.l2_capacity
+        return footprint
+
+    def _floats_at_config(self, stream: CoreStream) -> bool:
+        if stream.spec.kind != "load" or stream.spec.is_indirect:
+            # Indirect streams float with their parent.
+            return False
+        return self._config_footprint(stream) > self.l2_capacity
 
     def end(self, sids: List[int]) -> None:
         for sid in sids:
             stream = self.streams.pop(sid, None)
             if stream is None:
                 continue
+            if stream.parent is not None and stream in stream.parent.children:
+                # A child ended while its parent float stays live:
+                # detach so the parent stops pumping the dead child
+                # and the SE_L2 drops its buffered child state.
+                stream.parent.children.remove(stream)
             if stream.floating and self.se_l2 is not None:
                 self.se_l2.end_stream(sid)
             self.history.reset(sid)
@@ -185,15 +226,33 @@ class SECore:
     # ------------------------------------------------------------------
     # floating / sinking
     # ------------------------------------------------------------------
-    def _float(self, stream: CoreStream, reason: str = "history") -> None:
+    def _float(
+        self, stream: CoreStream, reason: str = "history",
+        plan: Optional[FloatPlan] = None,
+    ) -> None:
         """Float ``stream``. ``reason`` labels which policy fired
         ("footprint" at configure, "history" from Table II) — it has no
         behavioral effect, but the telemetry provenance pillar records
-        it with the decision's input snapshot."""
+        it with the decision's input snapshot. ``plan`` (smart+plan
+        policy) carries per-range levels; None is the classic float
+        from the current element."""
         if stream.floating or self.se_l2 is None:
             return
+        if plan is not None and stream.children:
+            # Chained indirect children have no data source in an
+            # L2-level range: indirect floats stay classic.
+            plan = None
+        if plan is not None:
+            plan.delay_until(stream.next_issue)
+            first = plan.first_float_elem()
+            if first is None:
+                return  # degenerated to all-core: nothing floats
+            float_start = first
+        else:
+            float_start = stream.next_issue
         stream.floating = True
-        stream.float_start = stream.next_issue
+        stream.float_start = float_start
+        stream.plan = plan
         float_children = (
             stream.children if self.indirect_float_enabled else []
         )
@@ -201,12 +260,13 @@ class SECore:
             child.floating = True
             # The SE_L3 chains children from the parent's float point;
             # earlier child elements still use the normal path.
-            child.float_start = stream.next_issue
+            child.float_start = float_start
         self.stats.add("se_core.floats")
         self.se_l2.float_stream(
             stream.spec,
-            start_idx=stream.next_issue,
+            start_idx=float_start,
             children=[c.spec for c in float_children],
+            plan=plan,
         )
 
     def _sink(self, stream: CoreStream, reason: str = "policy") -> None:
@@ -221,40 +281,74 @@ class SECore:
         if not stream.floating:
             return
         stream.floating = False
+        stream.plan = None
         for child in stream.children:
             child.floating = False
+            child.plan = None
         self.stats.add("se_core.sinks")
         # Start the history over: without this, a still-qualifying
         # history entry would re-float the stream the next cycle and
         # the engine would thrash between floating and sinking. The
         # aliased bit survives the reset (Table II): an aliased
-        # stream must not re-float.
+        # stream must not re-float; a revocation cooldown survives
+        # for the same reason.
         for s in [stream] + stream.children:
-            aliased = self.history.entry(s.sid).aliased
-            self.history.reset(s.sid)
-            if aliased:
-                self.history.record_alias(s.sid)
+            self.history.carryover_reset(s.sid)
         if self.se_l2 is not None:
             self.se_l2.end_stream(stream.sid)
 
+    def _revoke(self, stream: CoreStream, reason: str) -> None:
+        """Smart policy: undo a demonstrably bad float mid-run and
+        start the cooldown that keeps it from re-floating right away.
+        ``reason`` names the trigger ("revoke_reuse_burst",
+        "revoke_cache_hits", "revoke_alias_density")."""
+        if stream.parent is not None:
+            self._revoke(stream.parent, reason)
+            return
+        if not stream.floating or self.policy is None:
+            return
+        self.stats.add("se_core.revokes")
+        for s in [stream] + stream.children:
+            ent = self.history.entry(s.sid)
+            ent.cooldown = self.policy.COOLDOWN
+            ent.revokes += 1
+        self._sink(stream, reason=reason)
+
     def _maybe_float_from_history(self, stream: CoreStream) -> None:
         if (
-            self.float_enabled
-            and not stream.floating
-            and stream.spec.kind == "load"
-            and not stream.spec.is_indirect
-            and (
-                self.history.should_float(stream.sid)
-                or any(
-                    self.history.should_float(c.sid) for c in stream.children
-                )
-            )
+            not self.float_enabled
+            or stream.floating
+            or stream.spec.kind != "load"
+            or stream.spec.is_indirect
+        ):
+            return
+        if self.policy is not None:
+            ok, plan, reason = self.policy.history_decision(stream)
+            if ok:
+                self._float(stream, reason=reason, plan=plan)
+            return
+        if self.history.should_float(stream.sid) or any(
+            self.history.should_float(c.sid) for c in stream.children
         ):
             self._float(stream)
 
     def on_stream_reuse(self, sid: int) -> None:
         """L2 hook: a stream-tagged line was reused in the L2."""
         self.history.record_reuse(sid)
+        if self.policy is None:
+            return
+        stream = self.streams.get(sid)
+        if stream is None:
+            return
+        parent = stream.parent or stream
+        if (
+            parent.floating
+            and self.history.entry(sid).w_reuses
+            >= self.policy.REVOKE_REUSE_BURST
+        ):
+            # Reuse burst at the L2: the float is starving a working
+            # set the private caches were serving fine.
+            self._revoke(parent, "revoke_reuse_burst")
 
     def flush_floating(self) -> None:
         """Context switch (SS IV-E): discard all floating streams.
@@ -300,6 +394,12 @@ class SECore:
                     # fine: same-line elements already rode one L1
                     # MSHR entry and released together pre-coalescing.)
                     cap = min(cap, stream.float_start - idx)
+                if stream.floating and stream.plan is not None:
+                    # Likewise a request must not straddle a plan
+                    # change point (the serving level flips there).
+                    edge = stream.plan.next_edge(idx)
+                    if edge is not None:
+                        cap = min(cap, edge - idx)
                 if cap > 1:
                     count = pattern.line_run_length(idx, cap)
             stream.next_issue = idx + count
@@ -324,11 +424,16 @@ class SECore:
                 for j in range(idx, idx + count):
                     self._element_ready(stream, j)
 
+        flo = stream.floating and idx >= stream.float_start
+        if flo and stream.plan is not None:
+            # Plan CORE ranges issue through the normal path even
+            # while the stream floats elsewhere.
+            flo = stream.plan.level_at(idx) != CORE
         req = L1Request(
             addr=addr,
             stream_id=sid,
             element=idx,
-            floating=stream.floating and idx >= stream.float_start,
+            floating=flo,
             on_done=on_done,
             count=count,
         )
@@ -352,12 +457,14 @@ class SECore:
                 stream.consecutive_hits = 0
             else:
                 stream.consecutive_hits += 1
-                if (
-                    stream.floating
-                    and stream.consecutive_hits >= self.SINK_HIT_THRESHOLD
-                ):
-                    # The data is locally cached after all (SS IV-D).
-                    self._sink(stream, reason="cache_hits")
+                if stream.floating:
+                    if self.policy is not None:
+                        trigger = self.policy.should_revoke(stream)
+                        if trigger is not None:
+                            self._revoke(stream, trigger)
+                    elif stream.consecutive_hits >= self.SINK_HIT_THRESHOLD:
+                        # The data is locally cached after all (SS IV-D).
+                        self._sink(stream, reason="cache_hits")
         self.l1.access(req)
         if not reissue:
             self._maybe_float_from_history(stream)
@@ -450,6 +557,18 @@ class SECore:
                     aliased = True
                     break
             if not aliased:
+                if self.policy is not None:
+                    # In-range but outside the in-flight window: a
+                    # near-alias. Dense bursts make floating risky —
+                    # the smart policy revokes before a real alias
+                    # forces the expensive flush below.
+                    self.history.record_range_store(stream.sid)
+                    if (
+                        stream.floating
+                        and self.history.entry(stream.sid).w_stores
+                        >= self.policy.REVOKE_ALIAS_DENSITY
+                    ):
+                        self._revoke(stream, "revoke_alias_density")
                 continue
             self.stats.add("se_core.alias_flushes")
             self.history.record_alias(stream.sid)

@@ -37,6 +37,8 @@ from repro.streams.messages import (
     FloatConfig,
     StreamInv,
 )
+from repro.streams.pattern import AffinePattern
+from repro.streams.plan import L2, L3, FloatPlan
 
 
 @dataclass
@@ -83,6 +85,17 @@ class BufferedStream:
     # (on_dirty_evict) memoizes instead of re-evaluating the pattern
     # for every buffered element on every eviction.
     line_memo: Dict[int, int] = field(default_factory=dict)
+    # Per-range float plan state (streams/plan.py). Classic floats:
+    # plan None, l3_start == start_idx, config sent immediately.
+    plan: Optional[FloatPlan] = None
+    l3_start: Optional[int] = None  # first SE_L3-served element
+    l3_limit: int = 0  # end (exclusive) of the SE_L3 range
+    pending_config: bool = False  # config deferred until consumer nears
+    config_sent: bool = False
+    # L2-prefetch range cursor ([l2_next, l2_end) still to fetch).
+    l2_next: int = 0
+    l2_end: int = 0
+    l2_inflight: int = 0
 
     @property
     def sid(self) -> int:
@@ -144,8 +157,9 @@ class SEL2:
     # ------------------------------------------------------------------
     def float_stream(
         self, spec: StreamSpec, start_idx: int, children: List[StreamSpec],
+        plan: Optional[FloatPlan] = None,
     ) -> None:
-        if not children and self._try_follow(spec):
+        if plan is None and not children and self._try_follow(spec):
             return
         granule = spec.pattern.elem_size + sum(
             c.pattern.elem_size for c in children
@@ -154,15 +168,23 @@ class SEL2:
         capacity = max(2, self.buffer_bytes // granule // active)
         epoch = self._epochs.get(spec.sid, 0) + 1
         self._epochs[spec.sid] = epoch
+        l3_start = start_idx if plan is None else plan.first_at(L3)
+        if plan is not None and l3_start is not None \
+                and l3_start >= spec.length:
+            l3_start = None  # the L3 range is empty: pure-L2 plan
         stream = BufferedStream(
             spec=spec, children=list(children),
             capacity=capacity, granted=start_idx + capacity,
             start_idx=start_idx, epoch=epoch,
+            plan=plan, l3_start=l3_start, l3_limit=spec.length,
         )
         stream.consumed_leader = start_idx
         stream.freed_through = start_idx
+        # Credits chase the L3 range's first element (== start_idx for
+        # classic floats).
+        anchor = l3_start if l3_start is not None else start_idx
         stream.last_bank = self.nuca.bank_of(
-            spec.pattern.address(min(start_idx, spec.length - 1))
+            spec.pattern.address(min(anchor, spec.length - 1))
         )
         for child in children:
             stream.child_ready[child.sid] = set()
@@ -171,16 +193,108 @@ class SEL2:
         for child in children:
             self._sid_index[child.sid] = (stream, "child")
         self.stats.add("se_l2.floats")
-        first_addr = spec.pattern.address(min(start_idx, spec.length - 1))
+        if plan is None:
+            self._send_config(stream)
+            return
+        # Plan path: prefetch the L2-level range through the local L2
+        # (cacheable; untagged so the stream's own hits don't read as
+        # policy reuse), and install the L3 range remotely — now if
+        # the consumer is close, deferred until it nears otherwise.
+        l2_first = plan.first_at(L2)
+        if l2_first is not None:
+            stream.l2_next = max(start_idx, l2_first)
+            stream.l2_end = min(
+                spec.length, plan.run_end(stream.l2_next, spec.length)
+            )
+            self.stats.add("se_l2.plan_l2_ranges")
+            self._pump_l2(stream)
+        if l3_start is None:
+            # No SE_L3 involvement: no config, credits or EndStream.
+            stream.granted = spec.length
+            return
+        stream.l3_limit = min(
+            spec.length, plan.run_end(l3_start, spec.length)
+        )
+        if stream.granted > l3_start:
+            self._send_config(stream)
+        else:
+            # Midway float: hold the config until the consumer is a
+            # buffer's worth away (_free sends it), so the SE_L3
+            # never parks an idle stream against admission limits.
+            stream.pending_config = True
+            self.stats.add("se_l2.deferred_configs")
+
+    def _send_config(self, stream: BufferedStream) -> None:
+        """Translate and ship the FloatConfig for the stream's L3
+        range (immediate for classic floats, deferred for midway
+        plan ranges)."""
+        spec = stream.spec
+        stream.pending_config = False
+        stream.config_sent = True
+        first_addr = spec.pattern.address(
+            min(stream.l3_start, spec.length - 1)
+        )
         translate_cost = self.tlb.translate(first_addr)
         body = FloatConfig(
-            spec=spec, children=list(children), start_idx=start_idx,
-            credits=capacity, requester=self.tile, epoch=epoch,
+            spec=spec, children=list(stream.children),
+            start_idx=stream.l3_start,
+            credits=stream.granted - stream.l3_start,
+            requester=self.tile, epoch=stream.epoch, plan=stream.plan,
         )
         self.net.send(Packet(
             src=self.tile, dst=self.nuca.bank_of(first_addr), kind=STREAM,
             payload_bits=body.bits(), dst_port="se_l3", body=body,
         ), extra_delay=translate_cost)
+
+    # ------------------------------------------------------------------
+    # L2-level plan ranges (prefetch into the stream buffer)
+    # ------------------------------------------------------------------
+    L2_PREFETCH_INFLIGHT = 4  # concurrent prefetches per stream
+    L2_RETRY_CYCLES = 32  # back-off after an MSHR-full drop
+
+    def _pump_l2(self, stream: BufferedStream) -> None:
+        """Issue prefetches for the plan's L2 range, windowed to the
+        stream's buffer share ahead of the consumer."""
+        pattern = stream.spec.pattern
+        limit = min(stream.l2_end, stream.freed_through + stream.capacity)
+        while (
+            stream.l2_inflight < self.L2_PREFETCH_INFLIGHT
+            and stream.l2_next < limit
+        ):
+            idx = stream.l2_next
+            count = 1
+            cap = limit - idx
+            if cap > 1 and isinstance(pattern, AffinePattern):
+                count = pattern.line_run_length(idx, cap)
+            stream.l2_next = idx + count
+            stream.l2_inflight += 1
+            self._l2_fetch(stream, idx, count)
+
+    def _l2_fetch(self, stream: BufferedStream, idx: int, count: int) -> None:
+        if self.streams.get(stream.sid) is not stream:
+            return  # ended/sunk while the fetch was parked
+        self.stats.add("se_l2.l2_prefetches")
+        req = L2Request(
+            addr=stream.spec.pattern.address(idx), prefetch=True,
+            on_done=lambda result, s=stream, i=idx, c=count:
+                self._l2_fetched(s, i, c, result),
+        )
+        self.l2.access(req)
+
+    def _l2_fetched(self, stream, idx: int, count: int, result) -> None:
+        if self.streams.get(stream.sid) is not stream:
+            return
+        if result is not None and getattr(result, "dropped", False):
+            # MSHR pressure dropped the prefetch: retry later, keeping
+            # the in-flight slot so the pump doesn't run away.
+            self.sim.schedule(
+                self.L2_RETRY_CYCLES, self._l2_fetch, stream, idx, count
+            )
+            return
+        stream.l2_inflight -= 1
+        for j in range(idx, idx + count):
+            self._parent_data(stream, j)
+        self._pump_l2(stream)
 
     def _try_follow(self, spec: StreamSpec) -> bool:
         """SS IV-B constant-offset reuse: if an already-floated stream
@@ -224,6 +338,15 @@ class SEL2:
                 follower.consumed = leader.spec.length + follower.delta
                 self._release(leader)
                 return
+        hit = self._sid_index.get(sid)
+        if hit is not None and hit[1] == "child":
+            # An indirect child ended while its parent float stays
+            # live (SECore.end ends every floating sid; _sink only
+            # ends the parent): detach the child here and tell the
+            # SE_L3 to stop chaining it. Previously this fell through
+            # to the silent no-op below and leaked the child state.
+            self._end_child(hit[0], sid)
+            return
         stream = self.streams.pop(sid, None)
         if stream is None:
             return
@@ -247,12 +370,15 @@ class SEL2:
                 ))
         # Send the end packet to the stream's current bank (tracked as
         # the source of its most recent data; SE_L3s forward if the
-        # stream migrated meanwhile) — SS IV-A.
-        body = EndStream(requester=self.tile, sid=sid, epoch=stream.epoch)
-        self.net.send(Packet(
-            src=self.tile, dst=stream.last_bank, kind=STREAM,
-            payload_bits=body.bits(), dst_port="se_l3", body=body,
-        ))
+        # stream migrated meanwhile) — SS IV-A. Pure-L2 plan floats
+        # (and deferred configs never sent) have no SE_L3 state to end.
+        if stream.config_sent:
+            body = EndStream(requester=self.tile, sid=sid,
+                             epoch=stream.epoch)
+            self.net.send(Packet(
+                src=self.tile, dst=stream.last_bank, kind=STREAM,
+                payload_bits=body.bits(), dst_port="se_l3", body=body,
+            ))
         # Answer any still-waiting core requests through the normal
         # (non-floating) path so nothing deadlocks.
         for idx, reqs in list(stream.waiters.items()):
@@ -261,6 +387,23 @@ class SEL2:
         for (_sid, _idx), reqs in list(stream.child_waiters.items()):
             for req in reqs:
                 self._bounce_to_memory(req)
+
+    def _end_child(self, stream: BufferedStream, sid: int) -> None:
+        """Detach one ended indirect child from a still-live float."""
+        self._sid_index.pop(sid, None)
+        stream.children = [c for c in stream.children if c.sid != sid]
+        stream.child_ready.pop(sid, None)
+        for key in [k for k in stream.child_waiters if k[0] == sid]:
+            for req in stream.child_waiters.pop(key):
+                self._bounce_to_memory(req)
+        self.stats.add("se_l2.child_ends")
+        if stream.config_sent:
+            body = EndStream(requester=self.tile, sid=sid,
+                             epoch=stream.epoch)
+            self.net.send(Packet(
+                src=self.tile, dst=stream.last_bank, kind=STREAM,
+                payload_bits=body.bits(), dst_port="se_l3", body=body,
+            ))
 
     def _bounce_to_memory(self, req: L2Request) -> None:
         req.floating = False
@@ -423,14 +566,19 @@ class SEL2:
         for e in range(stream.freed_through, through):
             stream.ready.discard(e)
         stream.freed_through = through
+        if stream.l2_next < stream.l2_end:
+            # The prefetch window slid forward with the consumer.
+            self._pump_l2(stream)
         self._free(stream, freed)
 
     def _free(self, stream: BufferedStream, count: int) -> None:
         stream.pending_free += count
         if stream.pending_free * 2 < stream.capacity:
             return
-        if stream.granted >= stream.spec.length:
-            return  # stream will finish on current credits
+        if stream.l3_start is None:
+            return  # pure-L2 plan: no SE_L3 side to grant to
+        if stream.granted >= stream.l3_limit:
+            return  # the L3 range will finish on current credits
         # Coarse-grained credit return (SS IV-A): half-buffer batches,
         # addressed to the bank of the last *allocated* element — the
         # bank the stream is at (or has migrated through, in which
@@ -438,6 +586,12 @@ class SEL2:
         grant = stream.pending_free
         stream.pending_free = 0
         stream.granted += grant
+        if stream.pending_config:
+            if stream.granted > stream.l3_start:
+                # The consumer neared the midway L3 range: install it
+                # now, with every credit granted so far.
+                self._send_config(stream)
+            return
         body = Credit(requester=self.tile, sid=stream.sid, count=grant,
                       epoch=stream.epoch)
         self.stats.add("se_l2.credits_sent")

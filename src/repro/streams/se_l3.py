@@ -39,6 +39,7 @@ from repro.noc.message import CTRL, DATA, STREAM, Packet, data_payload_bits
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
 from repro.streams.pattern import AffinePattern
+from repro.streams.plan import FloatPlan
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 from repro.streams.isa import StreamSpec
@@ -68,6 +69,9 @@ class L3Stream:
     # Incarnation counter from the SE_L2 (a sid can sink and re-float);
     # stale credits/ends from an earlier incarnation are dropped.
     epoch: int = 0
+    # Per-range float plan; the resident stream covers only the plan's
+    # L3 range (``length`` is truncated to its end at configure).
+    plan: Optional["FloatPlan"] = None
     # Hot-path caches (DESIGN.md §12). ``length`` snapshots the
     # immutable spec length; ``key`` the immutable routing key. The
     # ``cached_*`` trio memoizes address/bank for ``next_idx`` so the
@@ -180,12 +184,13 @@ class SEL3:
         body = pkt.body
         if isinstance(body, FloatConfig):
             self._configure(body.spec, body.children, body.requester,
-                            body.start_idx, body.credits, body.epoch)
+                            body.start_idx, body.credits, body.epoch,
+                            plan=body.plan)
         elif isinstance(body, Migrate):
             self.stats.add("se_l3.migrations_in")
             self._configure(body.spec, body.children, body.requester,
                             body.next_idx, body.credits, body.epoch,
-                            migrated=True)
+                            migrated=True, plan=body.plan)
         elif isinstance(body, Credit):
             self._credit(body)
         elif isinstance(body, EndStream):
@@ -207,6 +212,7 @@ class SEL3:
         credits: int,
         epoch: int = 0,
         migrated: bool = False,
+        plan: Optional[FloatPlan] = None,
     ) -> str:
         """Install (or reject) an incoming stream configuration.
 
@@ -240,8 +246,14 @@ class SEL3:
             self._drop(existing)
         stream = L3Stream(
             spec=spec, children=list(children), requester=requester,
-            next_idx=start_idx, credits=credits, epoch=epoch,
+            next_idx=start_idx, credits=credits, epoch=epoch, plan=plan,
         )
+        if plan is not None:
+            # This bank serves only the plan's L3 range: the stream
+            # completes (silently, SS IV-A) at the range's end.
+            stream.length = min(
+                stream.length, plan.run_end(start_idx, stream.length)
+            )
         self.streams[key] = stream
         if fwd is not None and fwd[1] == epoch:
             # The stream returned to a bank it had left this epoch.
@@ -537,6 +549,7 @@ class SEL3:
             spec=stream.spec, children=stream.children,
             next_idx=stream.next_idx, credits=stream.credits,
             requester=stream.requester, epoch=stream.epoch,
+            plan=stream.plan,
         )
         self.stats.add("se_l3.migrations_out")
         self.net.send_new(
@@ -597,6 +610,11 @@ class SEL3:
         if pending is not None and pending[0] <= body.epoch:
             del self.pending_credits[key]
         stream = self.streams.get(key)
+        if stream is None:
+            # Child-sid ends don't resolve as resident streams: the
+            # child rides its parent. Detach it so the issue unit
+            # stops chaining indirect fetches for an ended sid.
+            self._detach_child(body)
         if stream is None or stream.epoch <= body.epoch:
             # Range data of a newer incarnation must survive an old end.
             self.ranges.pop(key, None)
@@ -630,6 +648,21 @@ class SEL3:
                 src=self.tile, dst=body.requester, kind=STREAM,
                 payload_bits=ack.bits(), dst_port="se_l2", body=ack,
             ))
+
+    def _detach_child(self, body: EndStream) -> None:
+        """Remove an ended indirect child from its resident parent
+        float (matched by requester + epoch)."""
+        for parent in self.streams.values():
+            if (
+                parent.requester != body.requester
+                or parent.epoch != body.epoch
+            ):
+                continue
+            for child in parent.children:
+                if child.sid == body.sid:
+                    parent.children.remove(child)
+                    self.stats.add("se_l3.child_detached")
+                    return
 
     # ------------------------------------------------------------------
     # stream-grain coherence (SS V-B, optional mode)

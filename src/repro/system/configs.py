@@ -13,6 +13,10 @@ ss               stream-specialized core (decoupled-stream ISA,
 sf               stream floating (1 kB L3 interleaving by default)
 sf_aff           floating with only affine streams (Figure 15)
 sf_ind           affine + indirect floating, no confluence
+sf_smart         sf with the adaptive float policy (windowed
+                 counters, length/locality gates, revocation)
+sf_plan          sf_smart plus per-range FloatPlans (probation L2
+                 prefixes, midway/deferred configs)
 ===============  ====================================================
 
 Every builder takes the core preset name ("io4" / "ooo4" / "ooo8"),
@@ -29,7 +33,7 @@ from repro.system.params import CORES, SystemParams
 
 CONFIG_NAMES = (
     "base", "stride", "bingo", "bulk", "ss", "sf", "sf_aff", "sf_ind",
-    "sf_sgc",
+    "sf_sgc", "sf_smart", "sf_plan",
 )
 
 # The paper runs SF with 1 kB interleaving to curb migrations (SS VI);
@@ -82,6 +86,18 @@ def make_config(
         params = replace(
             base, streams_enabled=True, floating_enabled=True,
             confluence_enabled=False, indirect_float_enabled=True,
+            l3_interleave=l3_interleave or SF_INTERLEAVE,
+        )
+    elif name == "sf_smart":
+        params = replace(
+            base, streams_enabled=True, floating_enabled=True,
+            float_policy="smart",
+            l3_interleave=l3_interleave or SF_INTERLEAVE,
+        )
+    elif name == "sf_plan":
+        params = replace(
+            base, streams_enabled=True, floating_enabled=True,
+            float_policy="smart", float_plan=True,
             l3_interleave=l3_interleave or SF_INTERLEAVE,
         )
     elif name == "sf_sgc":

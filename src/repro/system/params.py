@@ -90,6 +90,12 @@ class SystemParams:
     floating_enabled: bool = False  # stream floating (SF)
     confluence_enabled: bool = True
     indirect_float_enabled: bool = True
+    # Float policy: "static" (the paper's Table II) or "smart"
+    # (windowed counters, length/locality gates, mid-run revocation).
+    float_policy: str = "static"
+    # Per-range FloatPlans (smart policy only): probation L2 prefix /
+    # pure-L2 ranges before committing a stream to a remote SE_L3.
+    float_plan: bool = False
     # SS V-B alternative: track floated streams' accessed ranges at the
     # SE_L3 and invalidate them on conflicting writes, instead of the
     # uncached-data scheme (the paper's future work, implemented here

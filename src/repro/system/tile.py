@@ -114,6 +114,8 @@ class Tile:
                 l2_capacity=params.l2_size,
                 float_enabled=params.floating_enabled,
                 indirect_float_enabled=params.indirect_float_enabled,
+                float_policy=params.float_policy,
+                plan_enabled=params.float_plan,
             )
             self.l2.on_stream_reuse = self.se_core.on_stream_reuse
 

@@ -1,0 +1,93 @@
+"""Tiled (cache-blocked) stencil — the smart policy's revocation case.
+
+Not one of the paper's 12 Table IV workloads: a PCOT-style
+time-tiled kernel where each core sweeps a small block of the grid
+:data:`SWEEPS` times before moving to the next block (one phase per
+block). The block is sized to sit comfortably inside the private
+caches, so the *first* sweep looks exactly like a streaming workload
+— cold, reuse-free, high miss ratio — and any Table-II history
+policy floats it right around the qualification threshold. The
+second sweep then re-reads the block out of the private caches,
+proving the float wrong.
+
+The static policy only recovers through the coarse 8-consecutive-hit
+sink; the smart policy *revokes* the float (hit burst / L2 reuse
+burst) and its cooldown keeps the stream private for the remaining
+sweeps. This is the ablation figure's "should revoke" point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernel import CoreProgram, Iteration, KernelPhase
+
+CENTER, AUX = 0, 1
+
+#: block footprint in bytes — small enough to be cache-resident at
+#: every capacity scale (the scaled private L2 floors at 4 kB), large
+#: enough that one sweep crosses the history qualification threshold
+#: (32 line requests) while still cold.
+BLOCK_BYTES = 2048
+#: temporal sweeps over each block before moving on
+SWEEPS = 4
+#: blocks processed per core (one phase each)
+BLOCKS_PER_CORE = 2
+#: lines of the small coefficient table the AUX stream cycles over
+AUX_LINES = 4
+
+
+@register
+class StencilTiled(Workload):
+    META = WorkloadMeta(
+        name="stencil_tiled",
+        table_iv="blocked 2 kB tiles, 4 sweeps (not in Table IV)",
+        stencil=True,
+    )
+
+    COMPUTE_OPS = 10
+
+    def _build(self) -> Dict[int, CoreProgram]:
+        lines = BLOCK_BYTES // 64
+        grid = self.layout.alloc(
+            "grid", self.num_cores * BLOCKS_PER_CORE * BLOCK_BYTES
+        )
+        aux_base = self.layout.alloc("coeffs", AUX_LINES * 64)
+
+        programs = {}
+        for core in range(self.num_cores):
+            phases: List[KernelPhase] = []
+            for block in range(BLOCKS_PER_CORE):
+                base = grid + (core * BLOCKS_PER_CORE + block) * BLOCK_BYTES
+                specs = [
+                    # The block, re-swept SWEEPS times (stride-0 outer
+                    # level): sweep 1 is cold and streaming-shaped,
+                    # sweeps 2+ hit the private caches.
+                    StreamSpec(sid=CENTER, pattern=AffinePattern(
+                        base=base, strides=(64, 0),
+                        lengths=(lines, SWEEPS), elem_size=64,
+                    )),
+                    # A tiny coefficient table cycled per element —
+                    # cache-resident, never qualifies to float.
+                    StreamSpec(sid=AUX, pattern=AffinePattern(
+                        base=aux_base, strides=(64, 0),
+                        lengths=(AUX_LINES, lines * SWEEPS // AUX_LINES),
+                        elem_size=64,
+                    )),
+                ]
+
+                def iterations(n=lines * SWEEPS, compute=self.COMPUTE_OPS):
+                    for _ in range(n):
+                        yield Iteration(compute_ops=compute, ops=(
+                            ("sload", CENTER), ("sload", AUX),
+                        ))
+
+                phases.append(KernelPhase(
+                    name=f"block{block}", stream_specs=specs,
+                    iterations=iterations,
+                ))
+            programs[core] = CoreProgram(phases=phases)
+        return programs

@@ -71,6 +71,21 @@ def test_fig18_cells():
     assert report.render_fig18(data)
 
 
+def test_policy_ablation_rows():
+    rows = experiments.fig_policy_ablation(
+        workloads=("nn", "stencil_tiled"), **KW)
+    assert len(rows) == 2 * len(experiments.ABLATION_CONFIGS)
+    by = {(r.workload, r.config): r for r in rows}
+    # The static policy never revokes; the smart one revokes the
+    # cache-resident tiled stencil it floated on the cold first sweep.
+    assert by[("stencil_tiled", "sf")].revokes == 0
+    assert by[("stencil_tiled", "sf_smart")].revokes >= 1
+    assert by[("stencil_tiled", "sf_plan")].revokes >= 1
+    for r in rows:
+        assert r.speedup > 0
+    assert report.render_policy_ablation(rows)
+
+
 def test_fig19_points():
     pts = experiments.fig19_energy_scatter(
         workloads=("nn",), cores=("io4",), configs=("base", "sf"), **KW)

@@ -66,14 +66,7 @@ def programs(draw):
     )])
 
 
-@settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
-@given(st.lists(programs(), min_size=1, max_size=4), st.booleans())
-def test_random_programs_terminate_coherently(progs, sgc):
-    config = "sf_sgc" if sgc else "sf"
+def run_fuzz_case(progs, config):
     chip = Chip(make_config(config, core="ooo4", cols=2, rows=2, scale=32))
     mapping = {i % chip.num_cores: p for i, p in enumerate(progs)}
     result = chip.run(mapping)
@@ -86,3 +79,26 @@ def test_random_programs_terminate_coherently(progs, sgc):
     # Stats sanity: no negative counters.
     for name, value in result.stats.items():
         assert value >= 0, name
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(st.lists(programs(), min_size=1, max_size=4), st.booleans())
+def test_random_programs_terminate_coherently(progs, sgc):
+    run_fuzz_case(progs, "sf_sgc" if sgc else "sf")
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(st.lists(programs(), min_size=1, max_size=4), st.booleans())
+def test_random_programs_smart_policy(progs, plan):
+    """The adaptive policy (with and without per-range plans) under
+    the same protocol fuzz: revocations, pure-L2 ranges and deferred
+    configs must not leak transactions or break coherence."""
+    run_fuzz_case(progs, "sf_plan" if plan else "sf_smart")

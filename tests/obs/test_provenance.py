@@ -175,10 +175,58 @@ def test_float_decisions_snapshot_policy_inputs():
     footprint = [r for r in floats if r.reason == "footprint"]
     assert history and footprint
     assert all(r.inputs["requests"] > 0 for r in history)
-    assert all(r.inputs["miss_ratio"] > 0.5 for r in history)
+
+    # A history float shows the streaming signature over the stream's
+    # lifetime OR its current window (windowed requalification: one
+    # early warm prefix no longer disqualifies forever).
+    def qualifying_ratio(rec):
+        lifetime = rec.inputs["miss_ratio"]
+        w_requests = rec.inputs.get("w_requests", 0)
+        windowed = (
+            rec.inputs.get("w_misses", 0) / w_requests if w_requests else 0.0
+        )
+        return max(lifetime, windowed)
+
+    assert all(qualifying_ratio(r) > 0.5 for r in history)
     assert all(r.inputs["footprint"] is not None for r in footprint)
     sinks = ledger.by_verdict("sink")
     assert sinks and all(r.reason for r in sinks)
+
+
+def test_revocation_reaches_the_ledger():
+    """The smart policy's revocation must land as a ``revoke`` verdict
+    carrying the counters that triggered it (the PR acceptance case:
+    the tiled stencil's cache-resident re-sweeps)."""
+    import os
+
+    from repro.system.chip import Chip
+    from repro.system.configs import make_config
+    from repro.workloads.base import build_programs
+
+    os.environ[ENV_TELEMETRY] = "provenance"
+    try:
+        system = make_config("sf_smart", core="ooo8", cols=2, rows=2,
+                             scale=16)
+        chip = Chip(system)
+        programs = build_programs("stencil_tiled", chip.num_cores,
+                                  scale=16, seed=0)
+        chip.run(programs)
+        ledger = chip.sim.telemetry.provenance
+    finally:
+        os.environ.pop(ENV_TELEMETRY, None)
+    revokes = ledger.by_verdict("revoke")
+    assert revokes
+    for rec in revokes:
+        assert rec.reason.startswith("revoke"), rec.reason
+        # The snapshot carries the windowed evidence behind the call.
+        for field in ("requests", "w_requests", "w_reuses",
+                      "consecutive_hits", "policy"):
+            assert field in rec.inputs, f"revoke missing {field!r}"
+        assert rec.inputs["policy"] == "smart"
+    # A revoked float shows up in the summary counters too.
+    counts = ledger.verdict_counts()
+    assert counts["revoke"] == len(revokes)
+    assert counts.get("float", 0) >= len(revokes)
 
 
 # ----------------------------------------------------------------------

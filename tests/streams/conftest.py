@@ -24,7 +24,8 @@ from repro.streams.se_l3 import SEL3
 
 class StreamRig:
     def __init__(self, cols=2, rows=2, interleave=256, l2_size=4096,
-                 fifo_bytes=512, buffer_bytes=2048, float_enabled=True):
+                 fifo_bytes=512, buffer_bytes=2048, float_enabled=True,
+                 float_policy="static", plan_enabled=False):
         self.sim = Simulator()
         self.stats = Stats()
         self.mesh = Mesh(cols, rows)
@@ -48,7 +49,9 @@ class StreamRig:
                          self.nuca, self.mesh)
             se_core = SECore(self.sim, self.stats, tile, l1, se_l2=se_l2,
                              fifo_bytes=fifo_bytes, l2_capacity=l2_size,
-                             float_enabled=float_enabled)
+                             float_enabled=float_enabled,
+                             float_policy=float_policy,
+                             plan_enabled=plan_enabled)
             l2.on_stream_reuse = se_core.on_stream_reuse
             self.banks.append(bank)
             self.l2s.append(l2)

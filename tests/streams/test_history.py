@@ -3,6 +3,16 @@
 from repro.streams.history import StreamHistoryTable
 
 
+def feed_window(table, sid, requests, misses=0, reuses=0):
+    """Interleave request/miss/reuse records as the SE_core does."""
+    for i in range(requests):
+        table.record_request(sid)
+        if i < misses:
+            table.record_miss(sid)
+        if i < reuses:
+            table.record_reuse(sid)
+
+
 def feed(table, sid, requests, misses, reuses=0):
     for _ in range(requests):
         table.record_request(sid)
@@ -68,3 +78,85 @@ def test_miss_ratio():
     feed(table, 0, requests=4, misses=1)
     assert table.entry(0).miss_ratio == 0.25
     assert table.entry(9).miss_ratio == 0.0
+
+
+class TestWindowedPolicy:
+    """The windowed counters let a stream requalify after early
+    reuse: one warm prefix must not disqualify it forever."""
+
+    def test_early_reuse_then_streaming_requalifies(self):
+        table = StreamHistoryTable(min_requests=32, window=64)
+        # Warm prefix: 64 requests with reuse — lifetime-disqualified.
+        feed_window(table, 0, requests=64, misses=4, reuses=8)
+        assert not table.should_float(0)
+        # The next window streams cold: windowed counters qualify it
+        # even though lifetime reuses stay nonzero.
+        feed_window(table, 0, requests=40, misses=40)
+        ent = table.entry(0)
+        assert ent.reuses > 0  # lifetime memory kept
+        assert ent.w_reuses == 0
+        assert table.should_float(0)
+
+    def test_reuse_inside_current_window_blocks(self):
+        table = StreamHistoryTable(min_requests=32, window=64)
+        feed_window(table, 0, requests=40, misses=40, reuses=1)
+        assert not table.should_float_windowed(0)
+
+    def test_window_rolls_over(self):
+        table = StreamHistoryTable(min_requests=4, window=16)
+        feed_window(table, 0, requests=16, misses=16)
+        assert table.entry(0).w_requests == 16
+        table.record_request(0)
+        # A fresh window starts at the configured width.
+        assert table.entry(0).w_requests == 1
+
+    def test_cooldown_blocks_both_policies(self):
+        table = StreamHistoryTable(min_requests=4)
+        feed(table, 0, requests=16, misses=16)
+        table.entry(0).cooldown = 8
+        assert not table.should_float(0)
+        assert not table.should_float_windowed(0)
+        feed(table, 0, requests=8, misses=8)
+        assert table.entry(0).cooldown == 0
+        assert table.should_float(0)
+
+    def test_carryover_reset_preserves_verdict_state(self):
+        table = StreamHistoryTable(min_requests=4, window=16)
+        feed(table, 0, requests=16, misses=16)
+        ent = table.entry(0)
+        ent.aliased = True
+        ent.cooldown = 100
+        ent.revokes = 2
+        table.carryover_reset(0)
+        ent = table.entry(0)
+        assert ent.requests == 0 and ent.w_requests == 0
+        assert ent.aliased and ent.revokes == 2
+        # The revocation cooldown survives the reset unchanged (the
+        # first sink adds no backoff of its own).
+        assert ent.cooldown == 100 and ent.sinks == 1
+
+    def test_sink_backoff_escalates(self):
+        """The first sink is free (a quick re-float is often right),
+        but each repeat sink quadruples the re-qualification cooldown
+        (capped at 32 windows) so a stream that keeps re-qualifying
+        between sinks cannot thrash float/sink forever."""
+        table = StreamHistoryTable(min_requests=4, window=16)
+        feed(table, 0, requests=16, misses=16)
+        assert table.should_float(0)
+        table.carryover_reset(0)
+        ent = table.entry(0)
+        assert ent.sinks == 1 and ent.cooldown == 0
+        # Immediately re-qualifies: one sink does not gate the stream.
+        feed(table, 0, requests=8, misses=8)
+        assert table.should_float(0)
+        for expected in (64, 256, 512, 512):
+            table.carryover_reset(0)
+            assert table.entry(0).cooldown == expected
+            table.entry(0).cooldown = 0  # drain
+
+    def test_range_store_counter(self):
+        table = StreamHistoryTable()
+        table.record_request(0)
+        table.record_range_store(0)
+        table.record_range_store(0)
+        assert table.entry(0).w_stores == 2

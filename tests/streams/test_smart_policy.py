@@ -1,0 +1,329 @@
+"""Tests for the smart float policy, FloatPlan carrying, revocation,
+and the policy-edge bugfixes (negative-scale ranges, child-sid ends,
+alias-bit survival). The root conftest enables the S4/S5 sanitizers
+for every rig run here."""
+
+import numpy as np
+import pytest
+
+from repro.streams.isa import StreamSpec
+from repro.streams.pattern import AffinePattern, IndirectPattern
+from repro.streams.plan import CORE, L2, L3, FloatPlan
+from tests.streams.conftest import StreamRig, dense_spec
+
+BASE = 0x40_0000
+
+
+def smart_rig(**kw):
+    return StreamRig(float_policy="smart", **kw)
+
+
+def sweep_spec(sid, base, lines, sweeps):
+    """A cache-blocked re-sweep: `lines` cold lines walked `sweeps`
+    times (stride-0 outer level) — the revocation-bait shape."""
+    return StreamSpec(sid=sid, pattern=AffinePattern(
+        base=base, strides=(64, 0), lengths=(lines, sweeps), elem_size=64,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: negative-scale indirect ranges
+# ---------------------------------------------------------------------------
+
+
+class TestNegativeScale:
+    def make_neg_child(self, rig, n=64, scale=-8):
+        idx_pat = AffinePattern(base=BASE, strides=(8,), lengths=(n,),
+                                elem_size=8)
+        values = np.arange(n, dtype=np.int64)
+        parent = StreamSpec(sid=0, pattern=idx_pat)
+        child = StreamSpec(sid=1, parent_sid=0, pattern=IndirectPattern(
+            base=BASE + 0x10_0000, index_pattern=idx_pat,
+            index_array=values, scale=scale, elem_size=8,
+        ))
+        rig.se_cores[0].configure([parent, child])
+        return rig.se_cores[0]
+
+    def test_negative_scale_pattern_valid(self):
+        pat = IndirectPattern(
+            base=BASE,
+            index_pattern=AffinePattern(base=0, strides=(8,), lengths=(4,),
+                                        elem_size=8),
+            index_array=np.array([0, 1, 2, 3], dtype=np.int64),
+            scale=-8, elem_size=8,
+        )
+        assert pat.address(0) == BASE
+        assert pat.address(3) == BASE - 24
+
+    def test_zero_scale_still_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectPattern(
+                base=BASE,
+                index_pattern=AffinePattern(base=0, strides=(8,),
+                                            lengths=(4,), elem_size=8),
+                index_array=np.zeros(4, dtype=np.int64),
+                scale=0, elem_size=8,
+            )
+
+    def test_range_normalized_lo_below_hi(self, rig):
+        se = self.make_neg_child(rig)
+        lo, hi = se._range_of(se.streams[1].spec)
+        assert lo < hi
+        # The descending walk covers base-504 .. base (64 * -8).
+        assert lo == BASE + 0x10_0000 - 512
+        assert hi == BASE + 0x10_0000
+
+    def test_footprint_positive_with_negative_scale(self, rig):
+        se = self.make_neg_child(rig)
+        assert se._config_footprint(se.streams[0]) > 0
+
+    def test_store_in_descending_range_flushes(self, rig):
+        se = self.make_neg_child(rig)
+        rig.run()
+        # An address inside the (normalized) child range, within the
+        # issued-but-unconsumed window, must alias-flush. Before the
+        # fix the inverted (lo > hi) range made this a silent no-op.
+        se.notify_store(BASE + 0x10_0000 - 16)
+        assert se.history.entry(1).aliased
+
+
+# ---------------------------------------------------------------------------
+# smart configure-time gates
+# ---------------------------------------------------------------------------
+
+
+class TestSmartConfigGates:
+    def test_large_footprint_floats(self):
+        rig = smart_rig()
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])  # 16 kB > 4 kB L2
+        assert se.streams[0].floating
+        assert rig.stats["se_core.floats"] == 1
+
+    def test_short_stream_rejected(self):
+        rig = smart_rig()
+        se = rig.se_cores[0]
+        # Big footprint but only 32 elements: a config round-trip
+        # never amortizes.
+        se.configure([StreamSpec(sid=0, pattern=AffinePattern(
+            base=BASE, strides=(256,), lengths=(32,), elem_size=64,
+        ))])
+        assert not se.streams[0].floating
+        assert se.policy.last_reject[0] == "short_stream"
+
+    def test_local_bank_rejected(self):
+        rig = smart_rig()  # interleave 256, 4 tiles -> stride 1024 pins
+        se = rig.se_cores[0]
+        se.configure([StreamSpec(sid=0, pattern=AffinePattern(
+            base=BASE, strides=(1024,), lengths=(64,), elem_size=64,
+        ))])
+        assert not se.streams[0].floating
+        assert se.policy.last_reject[0] == "local_bank"
+
+    def test_static_would_float_the_local_stream(self, rig):
+        rig.se_cores[0].configure([StreamSpec(sid=0, pattern=AffinePattern(
+            base=BASE, strides=(1024,), lengths=(64,), elem_size=64,
+        ))])
+        assert rig.se_cores[0].streams[0].floating
+
+
+# ---------------------------------------------------------------------------
+# revocation
+# ---------------------------------------------------------------------------
+
+
+class TestRevocation:
+    def run_resweep(self, rig, lines=32, sweeps=3):
+        se = rig.se_cores[0]
+        se.configure([sweep_spec(0, BASE, lines, sweeps)])
+        rig.consume_all(0, 0, lines * sweeps)
+        rig.run()
+        return se
+
+    def test_hit_burst_revokes(self):
+        rig = smart_rig()
+        se = self.run_resweep(rig)
+        # Sweep 1 (32 cold lines) qualifies the float right at the
+        # sweep boundary; sweep 2 hits the private caches -> revoked.
+        assert rig.stats["se_core.floats"] == 1
+        assert rig.stats["se_core.revokes"] == 1
+        assert not se.streams[0].floating
+        ent = se.history.entry(0)
+        assert ent.revokes == 1
+        assert ent.cooldown > 0
+
+    def test_static_policy_sinks_instead(self, rig):
+        se = self.run_resweep(rig)
+        assert rig.stats["se_core.revokes"] == 0
+        assert rig.stats["se_core.sinks"] == 1
+        assert not se.streams[0].floating
+
+    def test_refloat_after_cooldown_bumps_epoch(self):
+        rig = smart_rig()
+        se = rig.se_cores[0]
+        se.configure([sweep_spec(0, BASE, 32, 5)])  # 160 elements
+        rig.consume_all(0, 0, 48)
+        rig.run()
+        assert rig.stats["se_core.revokes"] == 1
+        stream = se.streams[0]
+        epoch_before = rig.se_l2s[0]._epochs[0]
+        # Cooldown over, and the next window streams cold again.
+        ent = se.history.entry(0)
+        ent.cooldown = 0
+        ent.w_requests = ent.w_misses = 64
+        ent.w_reuses = ent.w_stores = 0
+        se._maybe_float_from_history(stream)
+        assert stream.floating
+        assert rig.stats["se_core.floats"] == 2
+        assert rig.se_l2s[0]._epochs[0] == epoch_before + 1
+
+    def test_alias_density_revokes(self):
+        rig = smart_rig()
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])
+        assert se.streams[0].floating
+        rig.run()
+        # In-range stores far ahead of the window: near-aliases, not
+        # window hits. A dense burst revokes the float.
+        for k in range(se.policy.REVOKE_ALIAS_DENSITY):
+            se.notify_store(BASE + (250 - k) * 64)
+        assert rig.stats["se_core.revokes"] == 1
+        assert not se.streams[0].floating
+        assert se.history.entry(0).cooldown > 0
+
+    def test_alias_bit_survives_sink(self, rig):
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])
+        assert se.streams[0].floating
+        rig.run()
+        # Aliasing store inside the window: sink + sticky alias bit.
+        se.notify_store(BASE + 64 * (se.streams[0].freed + 1))
+        assert not se.streams[0].floating
+        ent = se.history.entry(0)
+        assert ent.aliased
+        # Even a perfect streaming window must not re-float it.
+        ent.requests = ent.misses = 64
+        assert not se.history.should_float(0)
+
+
+# ---------------------------------------------------------------------------
+# plans: pure-L2, probation/deferred config, L3-range truncation
+# ---------------------------------------------------------------------------
+
+
+class TestPlans:
+    def test_pure_l2_plan_no_remote_config(self):
+        rig = smart_rig(plan_enabled=True)
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 64)])  # 4 kB == L2: mid-size
+        stream = se.streams[0]
+        assert stream.floating
+        assert stream.plan is not None
+        assert stream.plan.level_at(0) == L2
+        assert rig.stats["se_l2.plan_l2_ranges"] == 1
+        assert rig.se_l2s[0].streams[0].l3_start is None
+        done = rig.consume_all(0, 0, 64)
+        rig.run()
+        assert len(done) == 64
+        assert rig.stats["se_l2.l2_prefetches"] > 0
+        # No SE_L3 was ever involved.
+        assert rig.stats["se_l2.deferred_configs"] == 0
+        assert all(not b.streams for b in rig.se_l3s)
+        se.end([0])
+        rig.run()
+
+    def test_probation_plan_defers_config(self):
+        rig = smart_rig(plan_enabled=True)
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])  # 16 kB: floats
+        stream = se.streams[0]
+        assert stream.floating
+        assert stream.plan is not None
+        assert stream.plan.level_at(0) == L2
+        assert stream.plan.level_at(255) == L3
+        # The L3 range starts past the initial credit grant, so the
+        # config is held until the consumer closes in.
+        assert rig.stats["se_l2.deferred_configs"] == 1
+        assert not rig.se_l2s[0].streams[0].config_sent
+        done = rig.consume_all(0, 0, 256)
+        rig.run()
+        assert len(done) == 256
+        assert rig.se_l2s[0].streams[0].config_sent \
+            if 0 in rig.se_l2s[0].streams else True
+        assert rig.stats["l3.requests.stream_float"] > 0
+        se.end([0])
+        rig.run()
+
+    def test_plan_l3_range_truncates_at_bank(self):
+        rig = StreamRig()
+        spec = dense_spec(0, BASE, 128)
+        plan = FloatPlan([(0, L3), (64, CORE)])
+        rig.se_l2s[0].float_stream(spec, 0, [], plan=plan)
+        rig.run()
+        lengths = [
+            s.length for bank in rig.se_l3s for s in bank.streams.values()
+        ]
+        assert lengths == [64]
+        rig.se_l2s[0].end_stream(0)
+        rig.run()
+        assert all(not b.streams for b in rig.se_l3s)
+
+    def test_flush_floating_mid_plan(self):
+        rig = smart_rig(plan_enabled=True)
+        se = rig.se_cores[0]
+        se.configure([dense_spec(0, BASE, 256)])
+        assert se.streams[0].floating
+        done = rig.consume_all(0, 0, 256)
+        rig.run(max_events=2_000)  # part-way through the stream
+        se.flush_floating()
+        assert not se.streams[0].floating
+        assert se.streams[0].plan is None
+        assert rig.stats["se_core.context_flushes"] == 1
+        rig.run()
+        assert len(done) == 256  # completes privately
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: child-sid end_stream
+# ---------------------------------------------------------------------------
+
+
+class TestChildEnd:
+    def configure_indirect(self, rig, n=512):
+        idx_pat = AffinePattern(base=BASE, strides=(8,), lengths=(n,),
+                                elem_size=8)
+        values = np.arange(n, dtype=np.int64)
+        parent = StreamSpec(sid=0, pattern=idx_pat)
+        child = StreamSpec(sid=1, parent_sid=0, pattern=IndirectPattern(
+            base=BASE + 0x10_0000, index_pattern=idx_pat,
+            index_array=values, scale=8, elem_size=8,
+        ))
+        rig.se_cores[0].configure([parent, child])
+        return rig.se_cores[0]
+
+    def test_child_ends_before_parent(self, rig):
+        se = self.configure_indirect(rig)
+        assert se.streams[0].floating
+        rig.consume_all(0, 0, 64)
+        rig.consume_all(0, 1, 64)
+        rig.run()
+        # End the child mid-run, then the parent: the child end must
+        # detach it at the SE_L2 (and at the bank), not fall through
+        # the leader lookup as a silent no-op.
+        se.end([1])
+        assert rig.stats["se_l2.child_ends"] == 1
+        rig.run()
+        se.end([0])
+        rig.run()
+        assert not rig.se_l2s[0].streams
+        assert all(not b.streams for b in rig.se_l3s)
+
+    def test_parent_first_keeps_classic_path(self, rig):
+        se = self.configure_indirect(rig)
+        rig.consume_all(0, 0, 64)
+        rig.consume_all(0, 1, 64)
+        rig.run()
+        se.end([0, 1])  # spec order: leader pop covers the child
+        rig.run()
+        assert rig.stats["se_l2.child_ends"] == 0
+        assert not rig.se_l2s[0].streams

@@ -51,7 +51,9 @@ def in_range(addr, layout):
     )
 
 
-@pytest.mark.parametrize("name", ALL_WORKLOADS)
+# Every registered workload — Table IV's 12 plus the extras (the tiled
+# stencil revocation case study) — passes the generic battery.
+@pytest.mark.parametrize("name", ALL_WORKLOADS + ("stencil_tiled",))
 class TestEveryWorkload:
     def test_builds_with_equal_phase_counts(self, name):
         wl = get_workload(name)(num_cores=8, scale=32)
@@ -131,6 +133,10 @@ class TestMeta:
             "mv", "nn", "nw", "particlefilter", "pathfinder", "srad",
         }
         assert set(ALL_WORKLOADS) == expected
+
+    def test_extras_registered_but_not_in_table_iv_set(self):
+        assert get_workload("stencil_tiled").META.stencil
+        assert "stencil_tiled" not in ALL_WORKLOADS
 
     def test_indirect_flags(self):
         assert get_workload("bfs").META.has_indirect
