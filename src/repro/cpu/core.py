@@ -90,6 +90,9 @@ class Core:
         self.ops_committed = 0
         self.finish_time = 0
         self._fast = getattr(sim, "fastpath", False)
+        tel = getattr(sim, "telemetry", None)
+        if tel is not None:
+            tel.watch_core(self)
 
     # ------------------------------------------------------------------
     # phase control (driven by the Chip)

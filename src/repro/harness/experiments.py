@@ -413,6 +413,60 @@ def fig_policy_ablation(
 
 
 # ---------------------------------------------------------------------------
+# Latency attribution: where floating buys its cycles (new figure)
+# ---------------------------------------------------------------------------
+
+ATTRIBUTION_CONFIGS = ("base", "ss", "sf", "sf_smart")
+
+
+@dataclass
+class AttributionRow:
+    workload: str
+    config: str
+    cycles: int
+    speedup: float  # vs the same-core Base
+    cpi: Dict[str, float] = field(default_factory=dict)  # bucket -> cycles
+
+
+def fig_latency_attribution(
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    configs: Sequence[str] = ATTRIBUTION_CONFIGS,
+    core: str = "ooo8",
+    jobs: Optional[int] = None,
+    **kw,
+) -> List[AttributionRow]:
+    """Cycle-accounting ablation: the per-bucket CPI stack (from the
+    attribution telemetry pillar) for each config, so the speedup
+    column can be read against *which wait buckets emptied* — floated
+    configs should move cycles out of the NoC/DRAM-wait buckets on
+    the stream-heavy workloads."""
+    run_points(
+        [dict(workload=wl, config=cfg, core=core, obs="attribution", **kw)
+         for wl in workloads
+         for cfg in configs],
+        jobs=jobs,
+    )
+    rows = []
+    for wl in workloads:
+        base = run_once(wl, configs[0], core=core, obs="attribution", **kw)
+        for cfg in configs:
+            rec = run_once(wl, cfg, core=core, obs="attribution", **kw)
+            tel = rec.telemetry or {}
+            rows.append(AttributionRow(
+                workload=wl, config=cfg, cycles=rec.cycles,
+                speedup=base.cycles / rec.cycles if rec.cycles else 0.0,
+                cpi={
+                    name[len("cpi."):]: value
+                    for name, value in sorted(tel.items())
+                    if name.startswith("cpi.")
+                    and name not in ("cpi.total_cycles",
+                                     "cpi.journeys_dropped")
+                },
+            ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 19: energy vs speedup scatter
 # ---------------------------------------------------------------------------
 

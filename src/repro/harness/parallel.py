@@ -71,6 +71,8 @@ def _point_label(params: Dict[str, Any]) -> str:
         label += f" ilv={params['l3_interleave']}"
     if params["seed"]:
         label += f" seed={params['seed']}"
+    if params.get("obs"):
+        label += f" obs={params['obs']}"
     return label
 
 

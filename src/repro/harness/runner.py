@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.harness.cache import ENV_CACHE_DIR, RunCache
+from repro.obs.telemetry import ENV_TELEMETRY
 from repro.noc.message import TRAFFIC_CLASSES
 from repro.sim.stats import Stats
 from repro.system.chip import Chip, RunResult
@@ -47,12 +48,17 @@ class RunRecord:
     # totals) when the run simulated with REPRO_TELEMETRY on; None
     # otherwise. Artifacts themselves go through the telemetry sink.
     telemetry: Optional[Dict[str, float]] = None
+    # Telemetry pillars the point itself requests (comma list, e.g.
+    # "attribution"); a run parameter — and so a cache key — because
+    # pillar hooks serialize deliveries that fastpath would fuse.
+    obs: Optional[str] = None
 
     @property
     def key(self) -> Tuple:
         return run_key(
             self.workload, self.config, self.core, self.cols, self.rows,
             self.scale, self.link_bits, self.l3_interleave, self.seed,
+            self.obs,
         )
 
     @property
@@ -63,6 +69,7 @@ class RunRecord:
             "core": self.core, "cols": self.cols, "rows": self.rows,
             "scale": self.scale, "link_bits": self.link_bits,
             "l3_interleave": self.l3_interleave, "seed": self.seed,
+            "obs": self.obs,
         }
 
     @property
@@ -119,18 +126,19 @@ class RunRecord:
             stats=Stats.from_dict(payload["stats"]),
             energy=EnergyBreakdown.from_dict(payload["energy"]),
             telemetry=payload.get("telemetry"),
+            obs=payload.get("obs"),
         )
 
 
 def run_key(
     workload: str, config: str, core: str, cols: int, rows: int,
     scale: int, link_bits: int, l3_interleave: Optional[int],
-    seed: int = 0,
+    seed: int = 0, obs: Optional[str] = None,
 ) -> Tuple:
     """The complete memo key of one experiment point.  ``seed`` is
     part of the key: different seeds are different runs."""
     return (workload, config, core, cols, rows, scale, link_bits,
-            l3_interleave, seed)
+            l3_interleave, seed, obs)
 
 
 def run_params(
@@ -143,6 +151,7 @@ def run_params(
     link_bits: int = 256,
     l3_interleave: Optional[int] = None,
     seed: int = 0,
+    obs: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Normalize one point's kwargs into the complete parameter dict
     (defaults applied) shared by the memo, disk cache and fan-out."""
@@ -150,7 +159,7 @@ def run_params(
         "workload": workload, "config": config, "core": core,
         "cols": cols, "rows": rows, "scale": scale,
         "link_bits": link_bits, "l3_interleave": l3_interleave,
-        "seed": seed,
+        "seed": seed, "obs": obs,
     }
 
 
@@ -264,7 +273,18 @@ def simulate(params: Dict[str, Any]) -> RunRecord:
         link_bits=params["link_bits"],
         l3_interleave=params["l3_interleave"],
     )
-    chip = Chip(system)
+    obs = params.get("obs")
+    if obs and not os.environ.get(ENV_TELEMETRY, "").strip():
+        # Point-requested pillars: telemetry attaches inside
+        # Simulator.__init__, so the env only needs to cover chip
+        # construction. An explicit REPRO_TELEMETRY wins.
+        os.environ[ENV_TELEMETRY] = obs
+        try:
+            chip = Chip(system)
+        finally:
+            del os.environ[ENV_TELEMETRY]
+    else:
+        chip = Chip(system)
     programs = build_programs(
         params["workload"], chip.num_cores, scale=params["scale"],
         seed=params["seed"],
@@ -288,12 +308,14 @@ def run_once(
     link_bits: int = 256,
     l3_interleave: Optional[int] = None,
     seed: int = 0,
+    obs: Optional[str] = None,
     use_cache: bool = True,
 ) -> RunRecord:
     """Simulate one experiment point (memo + optional disk cache)."""
     params = run_params(
         workload, config, core=core, cols=cols, rows=rows, scale=scale,
         link_bits=link_bits, l3_interleave=l3_interleave, seed=seed,
+        obs=obs,
     )
     key = params_key(params)
     disk = disk_cache() if use_cache else None

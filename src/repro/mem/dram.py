@@ -41,6 +41,9 @@ class DramController:
         self.access_latency = access_latency
         self.cycles_per_line = cycles_per_line
         self._busy_until = 0
+        # Telemetry tag: completion cycle of the most recent service
+        # (access latency on top of the channel-serialization queue).
+        self.last_done = 0
         self._pooling = getattr(sim, "pooling", False)
         self._c_reads = stats.counter("dram.reads")
         self._c_writes = stats.counter("dram.writes")
@@ -79,7 +82,8 @@ class DramController:
         """Reserve the channel for one line; returns completion cycle."""
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + self.cycles_per_line
-        return start + self.access_latency
+        self.last_done = start + self.access_latency
+        return self.last_done
 
 
 class DramSystem:

@@ -96,6 +96,10 @@ class L1Cache:
         self._avoid_inflight = self.mshr._entries.__contains__
         self._overflow: List[L1Request] = []
         self.prefetcher = None  # L1 stride or Bingo, wired by the tile
+        # Telemetry hop-reason tag: why the most recent _fill resolved
+        # the way it did ("fill" cached, "uncached" stream data,
+        # "drop" rejected prefetch re-issue).
+        self.last_fill_reason = "fill"
         self._fast = getattr(sim, "fastpath", False)
         self._c_hits = stats.counter("l1.hits")
         self._c_misses = stats.counter("l1.misses")
@@ -176,6 +180,11 @@ class L1Cache:
 
     def _fill(self, base: int, result: L2AccessResult) -> None:
         entry = self.mshr.release(base)
+        self.last_fill_reason = (
+            "drop" if result.dropped
+            else "uncached" if result.uncached
+            else "fill"
+        )
         if result.dropped:
             # The L2 rejected our prefetch. Re-issue for any demand
             # requests that merged into the entry meanwhile.

@@ -140,6 +140,10 @@ class L2Cache:
         self.on_l1_downgrade: Optional[Callable[[int], None]] = None
         self.prefetcher = None  # L2 stride prefetcher (trained on misses)
         self.bulk = None  # optional bulk-prefetch request grouper
+        # Telemetry hop-reason tag: how the most recent _miss left the
+        # L2 ("gets"/"getx"/"bulk" sent to the home bank, "merge" rode
+        # an in-flight MSHR entry, "overflow"/"prefetch_drop" parked).
+        self.last_miss_kind = ""
         self._fast = getattr(sim, "fastpath", False)
         self._pooling = getattr(sim, "pooling", False)
         # A line-sized Data response always serializes to the same flit
@@ -213,6 +217,7 @@ class L2Cache:
         upgrade = line is not None  # write hit in S: needs GetX, no fill
         entry = self.mshr.lookup(base)
         if entry is not None:
+            self.last_miss_kind = "merge"
             entry.is_write = entry.is_write or req.is_write
             entry.is_prefetch_only = entry.is_prefetch_only and req.prefetch
             if req.on_done is not None:
@@ -220,6 +225,7 @@ class L2Cache:
             return
         if self.mshr.full:
             if req.prefetch:
+                self.last_miss_kind = "prefetch_drop"
                 self._sp("l2.prefetch_dropped")
                 if req.on_done is not None:
                     # Tell the L1 so it releases its own MSHR entry.
@@ -227,6 +233,7 @@ class L2Cache:
                         addr=base, writable=False, dropped=True,
                     ))
                 return
+            self.last_miss_kind = "overflow"
             self._overflow.append(req)
             return
         entry = self.mshr.allocate(base, self.sim.now)
@@ -243,8 +250,10 @@ class L2Cache:
         source = "core_stream" if req.stream_id is not None else "core"
         msg = CohMsg(op=op, addr=base, requester=self.tile, source=source)
         if self.bulk is not None and req.prefetch and op == "GetS":
+            self.last_miss_kind = "bulk"
             self.bulk.enqueue(home, msg, entry)
             return
+        self.last_miss_kind = "getx" if req.is_write else "gets"
         # Body stays a plain allocation: L3-bound requests may be
         # parked in the bank's MSHR meta, so they never pool.
         info = self.net.send_new(

@@ -92,6 +92,9 @@ class L3Bank:
         self.dir = Directory()
         self.mshr = MshrFile(mshrs)
         self._waitq: List[tuple] = []  # requests waiting for a free MSHR
+        # Telemetry hop-reason tag: the most recent _demand's verdict
+        # ("hit", "miss", "forward", "queued", "mshr_wait").
+        self.last_outcome = ""
         self.dram = dram
         # Interned counter cells for the bank's hottest stats
         # (DESIGN.md §12); cells are shared across banks by name.
@@ -189,6 +192,7 @@ class L3Bank:
         entry = self.mshr.lookup(base)
         if entry is not None:
             # Line transaction in flight: queue and replay later.
+            self.last_outcome = "queued"
             entry.meta.setdefault("queued", []).append((src, msg))
             return
         op = msg.op
@@ -204,11 +208,13 @@ class L3Bank:
         ent = self.dir.peek(base)
         owner = ent.owner if ent else None
         if owner is not None and owner != msg.requester:
+            self.last_outcome = "forward"
             self._forward_to_owner(owner, src, msg)
             return
 
         line = self.array.lookup(base)
         if line is not None:
+            self.last_outcome = "hit"
             self._c_hits[0] += 1
             if ent is None and op == "GetS":
                 # Uncontended GetS shortcut: no directory entry means
@@ -229,9 +235,11 @@ class L3Bank:
         # LLC miss: fetch from memory.
         if self.mshr.full:
             # Park in the bank's wait queue until an MSHR frees up.
+            self.last_outcome = "mshr_wait"
             self._waitq.append((src, msg))
             self.stats.add("l3.mshr_full_waits")
             return
+        self.last_outcome = "miss"
         self._c_misses[0] += 1
         entry = self.mshr.allocate(base, self.sim.now)
         entry.meta["head"] = (src, msg)

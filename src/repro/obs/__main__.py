@@ -1,6 +1,6 @@
 """The run observatory CLI: ``python -m repro.obs`` (DESIGN.md §11).
 
-Three subcommands:
+Four subcommands:
 
 - ``run`` — simulate one point with telemetry on and capture a
   self-contained *run directory* (``record.json`` + trace/interval/
@@ -8,6 +8,9 @@ Three subcommands:
 - ``diff`` — align two run directories (or bare RunRecord JSON
   files) and render the differential report (Markdown, optional
   HTML);
+- ``attribute`` — simulate one point with the attribution (+spans)
+  pillars and render the cycle-accounting report: the CPI stack and
+  the critical-path bottleneck table (DESIGN.md §15);
 - ``localize`` — replay one figure point under two kernel backends
   and report the first divergent ``(cycle, event, handler)``, or
   confirm the backends agree.
@@ -17,6 +20,7 @@ Quick start::
     python -m repro.obs run --workload mv --config base --out runs/base
     python -m repro.obs run --workload mv --config sf   --out runs/sf
     python -m repro.obs diff runs/base runs/sf --out report.md
+    python -m repro.obs attribute --workload mv --config sf
 """
 
 from __future__ import annotations
@@ -70,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="top-k streams by lifetime (default 5)")
     diff.add_argument("--label-a", default=None)
     diff.add_argument("--label-b", default=None)
+
+    att = sub.add_parser(
+        "attribute",
+        help="cycle-accounting CPI stack + critical-path bottlenecks")
+    _add_point_args(att)
+    att.add_argument("--out", default=None,
+                     help="Markdown output path (default: stdout)")
+    att.add_argument("--json", dest="json_out", default=None,
+                     help="also write the raw cpi.*/crit.* counters")
+    att.add_argument("--top", type=int, default=10,
+                     help="bottleneck edges to list (default 10)")
 
     loc = sub.add_parser(
         "localize",
@@ -141,6 +156,46 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.harness.runner import run_once
+    from repro.obs.report import render_attribution
+
+    record = run_once(
+        workload=args.workload, config=args.config, core=args.core,
+        cols=args.cols, rows=args.rows, scale=args.scale,
+        link_bits=args.link_bits, l3_interleave=args.l3_interleave,
+        seed=args.seed, obs="attribution,spans", use_cache=False,
+    )
+    markdown = render_attribution(record, top=args.top)
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+        print(f"[obs] wrote {args.out}")
+    else:
+        sys.stdout.write(markdown)
+    if args.json_out:
+        tel = record.telemetry or {}
+        payload = {
+            "point": record.params,
+            "cycles": record.cycles,
+            "attribution": {
+                name: value for name, value in sorted(tel.items())
+                if name.startswith(("cpi.", "crit.", "critdom."))
+            },
+        }
+        out_dir = os.path.dirname(args.json_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[obs] wrote {args.json_out}")
+    return 0
+
+
 def _cmd_localize(args: argparse.Namespace) -> int:
     from repro.obs.divergence import localize_backends
 
@@ -171,6 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "attribute":
+        return _cmd_attribute(args)
     return _cmd_localize(args)
 
 

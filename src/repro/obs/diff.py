@@ -225,6 +225,53 @@ def top_streams(
 
 
 # ----------------------------------------------------------------------
+# cycle-accounting (CPI stack) + critical-path bottlenecks
+# ----------------------------------------------------------------------
+def cpi_stack(record: RunRecord) -> Dict[str, float]:
+    """Bucket -> cycles from the ``cpi.*`` attribution counters
+    (empty when the run lacked the attribution pillar)."""
+    tel = record.telemetry or {}
+    return {
+        key[len("cpi."):]: float(value)
+        for key, value in tel.items()
+        if key.startswith("cpi.") and key != "cpi.total_cycles"
+        and key != "cpi.journeys_dropped"
+    }
+
+
+def cpi_table(
+    a: RunRecord, b: RunRecord,
+) -> List[Tuple[str, float, float]]:
+    """``(bucket, cycles_a, cycles_b)`` over the union of buckets —
+    the *bottleneck diff*: which buckets floating emptied."""
+    ca, cb = cpi_stack(a), cpi_stack(b)
+    return [(bucket, ca.get(bucket, 0.0), cb.get(bucket, 0.0))
+            for bucket in sorted(set(ca) | set(cb))]
+
+
+def crit_edges(record: RunRecord) -> Dict[str, float]:
+    """``<kind>.<edge>`` -> total cycles from the ``crit.*`` summary
+    counters (the span assembler's critical-path profile)."""
+    tel = record.telemetry or {}
+    return {key[len("crit."):]: float(value)
+            for key, value in tel.items() if key.startswith("crit.")}
+
+
+def bottleneck_table(
+    a: RunRecord, b: RunRecord, top: int = 10,
+) -> List[Tuple[str, float, float]]:
+    """Top edges by max(cycles) across both runs, descending — where
+    each system's request latency actually lived."""
+    ea, eb = crit_edges(a), crit_edges(b)
+    edges = sorted(
+        set(ea) | set(eb),
+        key=lambda e: (-max(ea.get(e, 0.0), eb.get(e, 0.0)), e),
+    )
+    return [(edge, ea.get(edge, 0.0), eb.get(edge, 0.0))
+            for edge in edges[:top]]
+
+
+# ----------------------------------------------------------------------
 # provenance verdict summary
 # ----------------------------------------------------------------------
 def verdict_table(
@@ -261,6 +308,11 @@ class RunDiff:
     top_k: int
     top_streams_a: List[Dict[str, Any]]
     top_streams_b: List[Dict[str, Any]]
+    # Attribution (empty unless a run carried the attribution pillar /
+    # span critical-path counters).
+    cpi: List[Tuple[str, float, float]] = field(default_factory=list)
+    bottlenecks: List[Tuple[str, float, float]] = field(
+        default_factory=list)
 
 
 _INTERVAL_COLUMNS = (
@@ -291,4 +343,6 @@ def diff_runs(a: RunArtifacts, b: RunArtifacts, k: int = 5) -> RunDiff:
         top_k=k,
         top_streams_a=top_streams(a.trace_events, k),
         top_streams_b=top_streams(b.trace_events, k),
+        cpi=cpi_table(a.record, b.record),
+        bottlenecks=bottleneck_table(a.record, b.record),
     )

@@ -25,6 +25,7 @@ from __future__ import annotations
 import csv
 import json
 import os
+import sys
 from typing import Any, Dict, List, Optional
 
 from repro.obs.interval import IntervalSampler
@@ -47,6 +48,9 @@ def point_slug(params: Dict[str, Any]) -> str:
     seed = params.get("seed", 0)
     if seed:
         parts.append(f"seed{seed}")
+    obs = params.get("obs")
+    if obs:
+        parts.append("obs-" + str(obs).replace(",", "+"))
     return "-".join(parts)
 
 
@@ -239,10 +243,33 @@ class TelemetrySink:
         self._samples: List[Dict[str, Any]] = []
         self._profiles: List[Dict[str, Any]] = []
         self._provenance_rows: List[Dict[str, Any]] = []
+        # Nonzero drop counters seen per point: bounded buffers
+        # truncating silently would corrupt attribution totals, so the
+        # sink surfaces every truncation loudly.
+        self.drop_warnings: List[str] = []
+
+    def _check_drops(self, telemetry, slug: str) -> None:
+        dropped = {
+            name: value
+            for name, value in telemetry.summary().items()
+            if "dropped" in name and value
+        }
+        if dropped:
+            detail = ", ".join(
+                f"{name}={int(value)}" for name, value in sorted(dropped.items())
+            )
+            message = (
+                f"[obs] WARNING {slug}: telemetry buffers overflowed "
+                f"and dropped data ({detail}); raise the caps or "
+                f"shrink the point — derived totals are incomplete"
+            )
+            self.drop_warnings.append(message)
+            print(message, file=sys.stderr)
 
     def collect(self, telemetry, params: Dict[str, Any]) -> None:
         self.points += 1
         slug = point_slug(params)
+        self._check_drops(telemetry, slug)
         if telemetry.spans is not None and self.trace_out:
             self._trace_events.extend(chrome_trace_events(
                 telemetry.spans, pid=self.points, point=slug))

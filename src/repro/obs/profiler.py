@@ -11,6 +11,16 @@ when checking or tracing layers wrap the callable.
 Wall-clock numbers are host-dependent by nature; they are reported in
 the ``--profile`` artifact but deliberately kept out of Stats and the
 run cache so cached records stay byte-identical across hosts.
+
+Two sample sources feed the accumulator. The step hook times each
+queue dispatch (:meth:`KernelProfiler.record`). Deliveries the
+network batches inside ``Network._drain_cycle`` — including every
+lane-cached packet — would all land on that one dispatch qualname, so
+the telemetry layer additionally wraps ``Network.register`` with
+per-endpoint timers that credit the *real* handler's ``__qualname__``
+(:meth:`KernelProfiler.record_inner`). The dispatch sample then
+subtracts the nested handler time it contains, so host seconds are
+counted exactly once.
 """
 
 from __future__ import annotations
@@ -24,8 +34,15 @@ class KernelProfiler:
     def __init__(self) -> None:
         self._acc: Dict[str, List[float]] = {}  # name -> [count, seconds]
         self.events = 0
+        # Handler time recorded inside the current dispatch, to be
+        # subtracted from the enclosing dispatch sample.
+        self._nested_pending = 0.0
 
     def record(self, fn: Any, seconds: float) -> None:
+        nested = self._nested_pending
+        if nested:
+            self._nested_pending = 0.0
+            seconds = seconds - nested if seconds > nested else 0.0
         name = getattr(fn, "__qualname__", repr(fn))
         slot = self._acc.get(name)
         if slot is None:
@@ -33,6 +50,16 @@ class KernelProfiler:
         slot[0] += 1
         slot[1] += seconds
         self.events += 1
+
+    def record_inner(self, name: str, seconds: float) -> None:
+        """Credit a network-delivered handler under its own qualname
+        (lane-cached deliveries never surface as queue dispatches)."""
+        slot = self._acc.get(name)
+        if slot is None:
+            slot = self._acc[name] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += seconds
+        self._nested_pending += seconds
 
     @property
     def total_seconds(self) -> float:

@@ -108,6 +108,28 @@ def render_markdown(diff: RunDiff) -> str:
         [_delta_cells(d) for d in diff.headline]))
     lines.append("")
 
+    if diff.cpi and any(ca or cb for _, ca, cb in diff.cpi):
+        # The bottleneck diff: which buckets floating emptied.
+        total_a = sum(ca for _, ca, _ in diff.cpi) or 1.0
+        total_b = sum(cb for _, _, cb in diff.cpi) or 1.0
+        lines.append("## CPI stack (cycle accounting)")
+        lines.append("")
+        lines.extend(_md_table(
+            ["bucket", "A", "A%", "B", "B%", "delta"],
+            [[bucket, _fmt(ca), f"{100.0 * ca / total_a:.1f}%",
+              _fmt(cb), f"{100.0 * cb / total_b:.1f}%", _fmt(cb - ca)]
+             for bucket, ca, cb in diff.cpi]))
+        lines.append("")
+
+    if diff.bottlenecks:
+        lines.append("## Critical-path bottleneck edges")
+        lines.append("")
+        lines.extend(_md_table(
+            ["edge (kind.from>to)", "A cycles", "B cycles", "delta"],
+            [[f"`{edge}`", _fmt(ea), _fmt(eb), _fmt(eb - ea)]
+             for edge, ea, eb in diff.bottlenecks]))
+        lines.append("")
+
     if diff.verdicts:
         lines.append("## Decision provenance")
         lines.append("")
@@ -168,6 +190,57 @@ def render_markdown(diff: RunDiff) -> str:
               str(s["tile"]), _fmt(float(s["start"])),
               _fmt(float(s["duration"])), f"`{s['key']}`"]
              for s in streams]))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_attribution(record, top: int = 10) -> str:
+    """Single-run attribution report: the CPI stack (with ASCII
+    shares) plus the aggregate critical-path bottleneck table, from a
+    RunRecord simulated with the ``attribution`` (+``spans``)
+    pillars. Deterministic — golden-testable."""
+    from repro.obs.attribution import BUCKETS
+    from repro.obs.diff import cpi_stack, crit_edges
+
+    tel = record.telemetry or {}
+    stack = cpi_stack(record)
+    total = tel.get("cpi.total_cycles", sum(stack.values())) or 1.0
+    lines: List[str] = []
+    lines.append(f"# Cycle attribution: {_point_line(record)}")
+    lines.append("")
+    lines.append(f"- total core cycles: {_fmt(float(total))} "
+                 f"(chip cycles: {_fmt(float(record.cycles))})")
+    lines.append("- conservation: buckets sum exactly to total core "
+                 "cycles (asserted at run end)")
+    dropped = tel.get("cpi.journeys_dropped", 0)
+    if dropped:
+        lines.append(f"- **WARNING**: {_fmt(float(dropped))} journeys "
+                     f"dropped at the cap; wait buckets are "
+                     f"under-attributed")
+    lines.append("")
+    lines.append("## CPI stack")
+    lines.append("")
+    bar_width = 40
+    rows = []
+    for bucket in BUCKETS:  # taxonomy order, not alphabetical
+        cycles = stack.get(bucket, 0.0)
+        share = cycles / total
+        bar = "#" * int(round(share * bar_width))
+        rows.append([bucket, _fmt(cycles), f"{100.0 * share:.1f}%",
+                     f"`{bar}`" if bar else ""])
+    lines.extend(_md_table(["bucket", "cycles", "share", ""], rows))
+    lines.append("")
+    edges = crit_edges(record)
+    if edges:
+        lines.append(f"## Critical-path bottleneck edges (top {top})")
+        lines.append("")
+        ranked = sorted(edges.items(), key=lambda kv: (-kv[1], kv[0]))
+        dom = {key[len("critdom."):]: value for key, value in tel.items()
+               if key.startswith("critdom.")}
+        lines.extend(_md_table(
+            ["edge (kind.from>to)", "cycles", "spans dominated"],
+            [[f"`{edge}`", _fmt(cycles), _fmt(dom.get(edge, 0.0))]
+             for edge, cycles in ranked[:top]]))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 

@@ -65,6 +65,27 @@ class Span:
             last = self.hops[-1].cycle if self.hops else self.start
         return max(1, last - self.start)
 
+    def edges(self) -> List[Tuple[str, int]]:
+        """Consecutive waypoint-pair latencies: ``open`` → first hop,
+        hop → hop, last hop → ``close``. Edge names join the endpoint
+        names with ``>`` (the ``link.<s>><d>`` convention)."""
+        pts: List[Tuple[str, int]] = [("open", self.start)]
+        for h in self.hops:
+            pts.append((h.name, h.cycle))
+        if self.end is not None:
+            pts.append(("close", self.end))
+        return [
+            (f"{a}>{b}", bc - ac if bc > ac else 0)
+            for (a, ac), (b, bc) in zip(pts, pts[1:])
+        ]
+
+    def dominant_edge(self) -> Optional[Tuple[str, int]]:
+        """The span's bottleneck: its longest edge (first wins ties)."""
+        edges = self.edges()
+        if not edges:
+            return None
+        return max(edges, key=lambda e: e[1])
+
 
 class SpanCollector:
     """Subscribes to the bus and assembles spans; exporter input."""
@@ -137,19 +158,24 @@ class SpanCollector:
 
     def _on_l2_miss(self, ev) -> None:
         self.hop(("mem", ev.tile, ev.data["addr"]), "l2_miss",
-                 ev.cycle, ev.tile)
+                 ev.cycle, ev.tile, detail=ev.data.get("via", ""))
 
     def _on_l3_demand(self, ev) -> None:
         requester = ev.data.get("requester")
+        op = ev.data.get("op", "")
+        outcome = ev.data.get("outcome", "")
         self.hop(("mem", requester, ev.data["addr"]), "l3", ev.cycle,
-                 ev.tile, detail=ev.data.get("op", ""))
+                 ev.tile, detail=f"{op}:{outcome}" if outcome else op)
 
     def _on_dram(self, ev) -> None:
         # DRAM messages carry the home bank as requester, so attribute
         # the hop to every open mem span for the line.
+        detail = ev.data.get("op", "")
+        done = ev.data.get("done")
+        if done is not None:
+            detail = f"{detail} done@{done}"
         for key in self._by_line.get(ev.data["addr"], ()):  # usually 1
-            self.hop(key, "dram", ev.cycle, ev.tile,
-                     detail=ev.data.get("op", ""))
+            self.hop(key, "dram", ev.cycle, ev.tile, detail=detail)
 
     def _on_l2_data(self, ev) -> None:
         self.hop(("mem", ev.tile, ev.data["addr"]), "l2_data",
@@ -256,3 +282,24 @@ class SpanCollector:
     # ------------------------------------------------------------------
     def by_kind(self, kind: str) -> List[Span]:
         return [s for s in self.spans if s.kind == kind]
+
+    def critical_profile(self) -> Dict[Tuple[str, str], List[int]]:
+        """Aggregate critical-path profile across all spans.
+
+        Maps ``(span kind, edge name)`` to ``[traversals, total
+        cycles, dominated]`` where *dominated* counts the spans whose
+        single longest edge this was — the per-run bottleneck census
+        the attribution report ranks.
+        """
+        profile: Dict[Tuple[str, str], List[int]] = {}
+        for span in self.spans:
+            best: Optional[Tuple[str, int]] = None
+            for edge, lat in span.edges():
+                slot = profile.setdefault((span.kind, edge), [0, 0, 0])
+                slot[0] += 1
+                slot[1] += lat
+                if best is None or lat > best[1]:
+                    best = (edge, lat)
+            if best is not None:
+                profile[(span.kind, best[0])][2] += 1
+        return profile

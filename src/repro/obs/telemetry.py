@@ -15,7 +15,7 @@ components self-register at construction::
 When disabled the hooks cost nothing: ``sim.telemetry`` is ``None``,
 no method is wrapped, and no per-event guard exists anywhere.
 
-The layer has three pillars, each independently enabled by
+The layer's pillars are each independently enabled by
 :class:`TelemetryConfig` (DESIGN.md §8):
 
 - **spans** (:mod:`repro.obs.spans`): request-lifecycle spans for
@@ -24,7 +24,12 @@ The layer has three pillars, each independently enabled by
 - **interval** (:mod:`repro.obs.interval`): a time-series sampler
   snapshotting Stats deltas every N cycles;
 - **profile** (:mod:`repro.obs.profiler`): a host-side profiler
-  attributing wall-clock and event counts per event callback.
+  attributing wall-clock and event counts per event callback;
+- **provenance** (:mod:`repro.obs.provenance`): the decision ledger
+  plus tile/link activity matrices (DESIGN.md §11);
+- **attribution** (:mod:`repro.obs.attribution`): per-core cycle
+  accounting into CPI-stack buckets with an exact conservation
+  assertion (DESIGN.md §15).
 
 Underneath the pillars sits a typed publish/subscribe **event bus**:
 the wrapped component methods ``publish`` :class:`BusEvent` records
@@ -48,7 +53,7 @@ ENV_TELEMETRY_DIR = "REPRO_TELEMETRY_DIR"
 _OFF_VALUES = ("", "0", "off", "false", "no")
 _ALL_VALUES = ("1", "on", "true", "yes", "all")
 
-PILLARS = ("spans", "interval", "profile", "provenance")
+PILLARS = ("spans", "interval", "profile", "provenance", "attribution")
 
 DEFAULT_INTERVAL = 10_000
 
@@ -75,6 +80,7 @@ class TelemetryConfig:
     interval: int = 0  # sampling period in cycles; 0 disables
     profile: bool = False
     provenance: bool = False  # decision ledger + tile/link activity
+    attribution: bool = False  # per-core CPI-stack cycle accounting
     max_spans: int = 200_000  # open+closed span cap (drops counted)
     max_noc_events: int = 20_000  # exported NoC flow arrows cap
     max_decisions: int = 100_000  # provenance ledger cap (drops counted)
@@ -109,6 +115,7 @@ def config_from_env() -> Optional[TelemetryConfig]:
         interval=interval,
         profile="profile" in enabled,
         provenance="provenance" in enabled,
+        attribution="attribution" in enabled,
     )
 
 
@@ -164,6 +171,11 @@ class Telemetry:
             from repro.obs.provenance import ProvenanceLedger
 
             self.provenance = ProvenanceLedger(self, self.config)
+        self.attribution = None
+        if self.config.attribution:
+            from repro.obs.attribution import CycleAccountant
+
+            self.attribution = CycleAccountant(self)
         if self.sampler is not None or self.profiler is not None:
             self._install_step_hook()
 
@@ -265,6 +277,33 @@ class Telemetry:
 
         deliver_at.__qualname__ = getattr(inner, "__qualname__", "Network._deliver_at")
         net._deliver_at = deliver_at
+        if self.profiler is not None:
+            # Per-endpoint host-time attribution: the lane cache and
+            # the batched _drain_cycle dispatch make the step hook see
+            # a shared wrapper, so wrap each registration with a timer
+            # that credits the real handler's __qualname__. The step
+            # hook's dispatch sample subtracts this nested time
+            # (KernelProfiler.record_inner) to avoid double counting.
+            from time import perf_counter
+
+            profiler = self.profiler
+            inner_register = net.register
+
+            def register(tile: int, port: str, handler) -> None:
+                name = getattr(handler, "__qualname__", repr(handler))
+
+                def timed(pkt) -> None:
+                    t0 = perf_counter()
+                    handler(pkt)
+                    profiler.record_inner(name, perf_counter() - t0)
+
+                timed.__qualname__ = name
+                inner_register(tile, port, timed)
+
+            register.__qualname__ = getattr(
+                inner_register, "__qualname__", "Network.register"
+            )
+            net.register = register
         if self.provenance is None:
             return
         # Per-link flit accounting for the differential observatory's
@@ -305,6 +344,16 @@ class Telemetry:
         )
         net.multicast = multicast
 
+    def watch_core(self, core) -> None:
+        """Install the cycle accountant's commit-front hooks. A no-op
+        unless the attribution pillar is on — every other pillar keeps
+        the core entirely unhooked."""
+        if self.attribution is None:
+            return
+        if not self._claim(core):
+            return
+        self.attribution.watch_core(core)
+
     def watch_l1(self, l1) -> None:
         if not self._claim(l1):
             return
@@ -318,7 +367,7 @@ class Telemetry:
             tel.publish(
                 "l1_miss", tile=l1.tile, detail=f"{base:#x}",
                 addr=base, write=req.is_write, prefetch=req.prefetch,
-                fresh=fresh, sid=req.stream_id,
+                fresh=fresh, sid=req.stream_id, floating=req.floating,
             )
 
         miss.__qualname__ = getattr(inner_miss, "__qualname__", "L1Cache._miss")
@@ -327,7 +376,10 @@ class Telemetry:
 
         def fill(base: int, result) -> None:
             inner_fill(base, result)
-            tel.publish("l1_fill", tile=l1.tile, detail=f"{base:#x}", addr=base)
+            tel.publish(
+                "l1_fill", tile=l1.tile, detail=f"{base:#x}", addr=base,
+                reason=l1.last_fill_reason,
+            )
 
         fill.__qualname__ = getattr(inner_fill, "__qualname__", "L1Cache._fill")
         l1._fill = fill
@@ -345,7 +397,7 @@ class Telemetry:
             tel.publish(
                 "l2_miss", tile=l2.tile, detail=f"{base:#x}",
                 addr=base, write=req.is_write, prefetch=req.prefetch,
-                fresh=fresh,
+                fresh=fresh, via=l2.last_miss_kind,
             )
 
         miss.__qualname__ = getattr(inner_miss, "__qualname__", "L2Cache._miss")
@@ -373,9 +425,11 @@ class Telemetry:
             inner_demand(src, msg)
             tel.publish(
                 "l3_demand", tile=bank.tile,
-                detail=f"{msg.op} {tel._line(msg.addr):#x}",
+                detail=f"{msg.op} {tel._line(msg.addr):#x} "
+                       f"{bank.last_outcome}",
                 addr=tel._line(msg.addr), op=msg.op,
-                requester=msg.requester,
+                requester=msg.requester, lat=bank.latency,
+                outcome=bank.last_outcome,
             )
 
         demand.__qualname__ = getattr(inner_demand, "__qualname__", "L3Bank._demand")
@@ -431,6 +485,7 @@ class Telemetry:
                     "dram", tile=ctrl.tile,
                     detail=f"{body.op} {body.addr:#x}",
                     addr=tel._line(body.addr), op=body.op,
+                    done=ctrl.last_done,
                 )
             return handle
 
@@ -711,6 +766,7 @@ class Telemetry:
         for ctrl in chip.dram.controllers:
             self.watch_dram(ctrl)
         for tile in chip.tiles:
+            self.watch_core(tile.core)
             self.watch_l1(tile.l1)
             self.watch_l2(tile.l2)
             self.watch_l3(tile.l3)
@@ -730,6 +786,8 @@ class Telemetry:
         counters into ``stats`` (all deterministic — no wall clock)."""
         if self.sampler is not None:
             self.sampler.flush(self.sim.now)
+        if self.attribution is not None:
+            self.attribution.check()
         if stats is not None:
             for name, value in self.summary().items():
                 stats.set(f"telemetry.{name}", value)
@@ -744,10 +802,21 @@ class Telemetry:
             out["spans_dropped"] = self.spans.dropped
             out["noc_events"] = len(self.spans.noc_events)
             out["noc_dropped"] = self.spans.noc_dropped
+            # Aggregate critical-path profile: per (span kind, edge)
+            # the total cycles spent on that edge plus how many spans
+            # it dominated. The ">" separator follows link.<s>><d>.
+            for (kind, edge), slot in sorted(
+                self.spans.critical_profile().items()
+            ):
+                out[f"crit.{kind}.{edge}"] = slot[1]
+                if slot[2]:
+                    out[f"critdom.{kind}.{edge}"] = slot[2]
         if self.sampler is not None:
             out["interval_samples"] = len(self.sampler.samples)
         if self.profiler is not None:
             out["profiled_events"] = self.profiler.events
         if self.provenance is not None:
             out.update(self.provenance.summary())
+        if self.attribution is not None:
+            out.update(self.attribution.summary())
         return out

@@ -86,6 +86,24 @@ def test_policy_ablation_rows():
     assert report.render_policy_ablation(rows)
 
 
+def test_latency_attribution_rows():
+    rows = experiments.fig_latency_attribution(
+        workloads=("mv",), configs=("base", "sf"), **KW)
+    assert len(rows) == 2
+    by = {r.config: r for r in rows}
+    assert by["base"].speedup == pytest.approx(1.0)
+    for r in rows:
+        # The CPI stack rides the record and conserves cycles.
+        assert r.cpi and all(v >= 0 for v in r.cpi.values())
+        assert sum(r.cpi.values()) > 0
+    # Floating drains the DRAM-wait share on the streaming kernel.
+    base_total = sum(by["base"].cpi.values())
+    sf_total = sum(by["sf"].cpi.values())
+    assert (by["sf"].cpi["wait_dram"] / sf_total
+            < by["base"].cpi["wait_dram"] / base_total)
+    assert report.render_latency_attribution(rows)
+
+
 def test_fig19_points():
     pts = experiments.fig19_energy_scatter(
         workloads=("nn",), cores=("io4",), configs=("base", "sf"), **KW)

@@ -155,6 +155,47 @@ def test_sink_merges_points_and_validates(tmp_path, monkeypatch):
         assert [h[1] for h in hops] == sorted(h[1] for h in hops)
 
 
+class _SummaryOnlyTelemetry:
+    """Stand-in with no live pillars — only a summary() to inspect."""
+
+    spans = None
+    sampler = None
+    profiler = None
+    provenance = None
+
+    def __init__(self, summary):
+        self._summary = summary
+
+    def summary(self):
+        return dict(self._summary)
+
+
+def _params():
+    return dict(workload="nn", config="sf", core="ooo8", cols=2, rows=2,
+                scale=64, link_bits=256, l3_interleave=None, seed=0)
+
+
+def test_sink_warns_on_nonzero_drop_counters(capsys):
+    sink = TelemetrySink()
+    sink.collect(_SummaryOnlyTelemetry(
+        {"bus_events": 10, "spans_dropped": 3, "cpi.journeys_dropped": 2,
+         "noc_dropped": 0}), _params())
+    [warning] = sink.drop_warnings
+    assert "spans_dropped=3" in warning
+    assert "cpi.journeys_dropped=2" in warning
+    assert "noc_dropped" not in warning  # zero counters stay quiet
+    assert "nn-sf-ooo8-2x2-s64" in warning
+    assert "WARNING" in capsys.readouterr().err
+
+
+def test_sink_quiet_without_drops(capsys):
+    sink = TelemetrySink()
+    sink.collect(_SummaryOnlyTelemetry(
+        {"bus_events": 10, "spans_dropped": 0}), _params())
+    assert sink.drop_warnings == []
+    assert capsys.readouterr().err == ""
+
+
 def regenerate_golden() -> None:
     events = chrome_trace_events(synthetic_collector(), pid=1,
                                  point="golden")

@@ -67,6 +67,64 @@ def test_payload_schema():
     assert set(row) == {"callback", "events", "seconds", "us_per_event"}
 
 
+def test_record_inner_subtracts_from_dispatch_sample():
+    profiler = KernelProfiler()
+    profiler.record_inner("L2Cache.handle", 0.004)
+
+    def drain():
+        pass
+
+    drain.__qualname__ = "Network._drain_cycle"
+    profiler.record(drain, 0.010)
+    assert profiler._acc["L2Cache.handle"] == [1, 0.004]
+    # The dispatch sample keeps only its own (non-handler) time...
+    assert profiler._acc["Network._drain_cycle"][1] == pytest.approx(0.006)
+    # ...so host seconds are counted exactly once.
+    assert profiler.total_seconds == pytest.approx(0.010)
+    assert profiler.events == 1  # queue dispatches only
+
+
+def test_record_inner_clamps_dispatch_at_zero():
+    # Timer skew can make the nested handler time exceed the
+    # enclosing dispatch sample; the dispatch share clamps at zero
+    # instead of going negative.
+    profiler = KernelProfiler()
+    profiler.record_inner("L3Bank.handle", 0.010)
+
+    def drain():
+        pass
+
+    drain.__qualname__ = "Network._drain_cycle"
+    profiler.record(drain, 0.008)
+    assert profiler._acc["Network._drain_cycle"][1] == 0.0
+    assert all(slot[1] >= 0 for slot in profiler._acc.values())
+
+
+def test_lane_cached_deliveries_credit_real_handlers(monkeypatch):
+    """Regression: deliveries batched by the NoC lane cache must show
+    up under the endpoint handler's __qualname__, not lumped into the
+    shared Network dispatch wrapper."""
+    from tests.mem.conftest import MiniHierarchy
+
+    monkeypatch.setenv(ENV_TELEMETRY, "profile")
+    hier = MiniHierarchy()
+    results = []
+    for k in range(8):
+        hier.read(k % 4, 0x20_0000 + k * 64, results)
+    hier.run()
+    profiler = hier.sim.telemetry.profiler
+    assert results
+    names = set(profiler._acc)
+    handlers = {n for n in names if n.endswith(".handle")}
+    assert handlers, f"no endpoint handlers profiled, saw {sorted(names)}"
+    # The per-endpoint timers preserved the component qualnames (no
+    # `timed` wrapper names leaked into the profile)...
+    assert not any("watch_network" in n or n.endswith(".timed")
+                   for n in names)
+    # ...and the subtraction never drove a dispatch sample negative.
+    assert all(slot[1] >= 0 for slot in profiler._acc.values())
+
+
 def test_step_hook_profiles_simulation(monkeypatch):
     monkeypatch.setenv(ENV_TELEMETRY, "profile")
     sim = Simulator()
